@@ -1,0 +1,40 @@
+//! Criterion bench: task farm under all placement policies (experiments
+//! E1/E7's real-thread companion).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skeletons::{farm, Policy, Pool};
+
+fn busy_work(n: u64) -> u64 {
+    // A tiny deterministic spin (prevents the optimizer removing the task).
+    let mut acc = n;
+    for i in 0..(n % 64 + 16) {
+        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+    }
+    acc
+}
+
+fn bench_farm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("farm");
+    g.sample_size(15);
+    for policy in [
+        Policy::StaticBlock,
+        Policy::StaticCyclic,
+        Policy::Random(3),
+        Policy::Demand,
+        Policy::Stealing,
+    ] {
+        g.bench_with_input(
+            BenchmarkId::new("policy", format!("{policy:?}")),
+            &policy,
+            |b, &policy| {
+                let pool = Pool::new(4, matches!(policy, Policy::Stealing));
+                b.iter(|| farm(&pool, policy, (0..512u64).collect(), busy_work));
+                pool.shutdown();
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_farm);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Criterion bench: abstract-machine reduction throughput and the
+//! simulator costs behind every experiment table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use strand_machine::{run_goal, MachineConfig};
+
+fn bench_machine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("machine");
+    g.sample_size(20);
+
+    // Raw reduction throughput: a counting loop.
+    let count_src = "count(0). count(N) :- N > 0 | N1 := N - 1, count(N1).";
+    g.bench_function("count_10k_reductions", |b| {
+        b.iter(|| {
+            run_goal(count_src, "count(5000)", MachineConfig::default()).unwrap();
+        })
+    });
+
+    // Figure 1 producer/consumer with suspension traffic.
+    let fig1 = r#"
+        go(N) :- producer(N, Xs, sync), consumer(Xs).
+        producer(N, Xs, sync) :- N > 0 |
+            Xs := [X|Xs1], N1 := N - 1, producer(N1, Xs1, X).
+        producer(0, Xs, _) :- Xs := [].
+        consumer([X|Xs]) :- X := sync, consumer(Xs).
+        consumer([]).
+    "#;
+    g.bench_function("fig1_producer_consumer_256", |b| {
+        b.iter(|| run_goal(fig1, "go(256)", MachineConfig::default()).unwrap())
+    });
+
+    // Tree-Reduce-1 end to end (transform + compile + simulate).
+    g.bench_function("tree_reduce_1_leaves64_p4", |b| {
+        let program = motifs::tree_reduce_1().apply_src(motifs::ARITH_EVAL).unwrap();
+        let tree = motifs::random_tree_src(64, 3);
+        let goal = format!("create(4, reduce({tree}, Value))");
+        b.iter(|| {
+            strand_machine::run_parsed_goal(
+                &program,
+                &goal,
+                MachineConfig::with_nodes(4).seed(3),
+            )
+            .unwrap()
+        })
+    });
+
+    // Tree-Reduce-2 on the same workload.
+    g.bench_function("tree_reduce_2_leaves64_p4", |b| {
+        let program = motifs::tree_reduce_2().apply_src(motifs::ARITH_EVAL).unwrap();
+        let tree = motifs::random_tree_src(64, 3);
+        let goal = format!("create(4, tr2({tree}, Value))");
+        b.iter(|| {
+            strand_machine::run_parsed_goal(
+                &program,
+                &goal,
+                MachineConfig::with_nodes(4).seed(3),
+            )
+            .unwrap()
+        })
+    });
+
+    // Motif application cost (transformation + linking, no execution).
+    g.bench_function("compose_tree_reduce_1", |b| {
+        b.iter(|| motifs::tree_reduce_1().apply_src(motifs::ARITH_EVAL).unwrap())
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_machine);
+criterion_main!(benches);

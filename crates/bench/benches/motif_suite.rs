@@ -1,0 +1,72 @@
+//! Criterion bench: end-to-end motif applications on the simulator —
+//! the graph motif (E9), the task-pragma scheduler (E10), and the full
+//! in-simulator alignment (E8-sim).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use strand_machine::{run_parsed_goal, MachineConfig};
+
+fn bench_motif_suite(c: &mut Criterion) {
+    let mut g = c.benchmark_group("motif_suite");
+    g.sample_size(10);
+
+    // Graph components: ring of 24 vertices on 4 servers.
+    g.bench_function("graph_components_ring24", |b| {
+        let edges: Vec<(u32, u32)> = (1..24).map(|i| (i, i + 1)).chain([(24, 1)]).collect();
+        let prog = motifs::graph::graph_components().apply_src("noop(1).").unwrap();
+        let goal = format!(
+            "create(4, cc(24, {}, Final))",
+            motifs::graph::edges_src(&edges)
+        );
+        b.iter(|| run_parsed_goal(&prog, &goal, MachineConfig::with_nodes(4).seed(1)).unwrap())
+    });
+
+    // Task-pragma scheduler: 40 skewed tasks on 5 servers.
+    g.bench_function("task_pragma_skewed40", |b| {
+        const APP: &str = r#"
+            gen(0, V) :- V := 0.
+            gen(N, V) :- N > 0 |
+                cost(N, C), burn(C, V1)@task,
+                N1 := N - 1, gen(N1, V2), add(V1, V2, V).
+            cost(N, C) :- M := N mod 13, C := 30 + M * M * M.
+            burn(C, V) :- work(C), V := 1.
+            add(V1, V2, V) :- V := V1 + V2.
+        "#;
+        let prog = motifs::task_scheduler_with_entries(&[("gen", 2)])
+            .apply_src(APP)
+            .unwrap();
+        let goal = motifs::boot_goal(5, "gen", &["40", "V"]);
+        b.iter(|| run_parsed_goal(&prog, &goal, MachineConfig::with_nodes(5).seed(13)).unwrap())
+    });
+
+    // In-simulator MSA with the native aligner (8 sequences).
+    g.bench_function("msa_in_simulator_8", |b| {
+        use seqalign::{guide_tree, guide_tree_src, register_align_node, ScoreParams, ALIGN_EVAL};
+        use strand_machine::{ast_to_term, Machine};
+        use strand_parse::{compile_program, parse_term};
+        let fam = seqalign::generate_family(&seqalign::FamilyParams {
+            leaves: 8,
+            ancestral_len: 60,
+            seed: 21,
+            ..Default::default()
+        });
+        let guide = guide_tree(&fam.sequences, &ScoreParams::default());
+        let tree_src = guide_tree_src(&guide, &fam.sequences);
+        let program = motifs::tree_reduce_2().apply_src(ALIGN_EVAL).unwrap();
+        let compiled = compile_program(&program).unwrap();
+        let goal_src = format!("create(4, tr2({tree_src}, Value))");
+        b.iter(|| {
+            let mut machine = Machine::new(compiled.clone(), MachineConfig::with_nodes(4).seed(4));
+            register_align_node(&mut machine, ScoreParams::default(), 8);
+            let goal_ast = parse_term(&goal_src).unwrap();
+            let mut vars = std::collections::BTreeMap::new();
+            let goal = ast_to_term(&goal_ast, &mut machine, &mut vars);
+            machine.start(goal);
+            machine.run().unwrap()
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_motif_suite);
+criterion_main!(benches);

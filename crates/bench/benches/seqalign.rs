@@ -1,0 +1,44 @@
+//! Criterion bench: the sequence-alignment application (experiment E8) —
+//! pairwise alignment, guide-tree construction, and full progressive MSA
+//! sequential vs. skeleton-parallel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use seqalign::{
+    align_family_parallel, align_family_seq, align_profiles, generate_family, FamilyParams,
+    Profile, ScoreParams,
+};
+use skeletons::{Labeling, Pool};
+
+fn bench_seqalign(c: &mut Criterion) {
+    let mut g = c.benchmark_group("seqalign");
+    g.sample_size(10);
+    let p = ScoreParams::default();
+    let fam = generate_family(&FamilyParams {
+        leaves: 12,
+        ancestral_len: 100,
+        seed: 8,
+        ..Default::default()
+    });
+
+    g.bench_function("pairwise_nw_100bp", |b| {
+        let a = Profile::from_sequence(&fam.sequences[0]);
+        let q = Profile::from_sequence(&fam.sequences[1]);
+        b.iter(|| align_profiles(&a, &q, &p))
+    });
+
+    g.bench_function("msa_sequential_12", |b| {
+        b.iter(|| align_family_seq(&fam.sequences, &p))
+    });
+
+    for labeling in [Labeling::Random(8), Labeling::Paper(8)] {
+        g.bench_function(format!("msa_parallel_12_{labeling:?}"), |b| {
+            let pool = Pool::new(4, false);
+            b.iter(|| align_family_parallel(&pool, &fam.sequences, &p, labeling));
+            pool.shutdown();
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_seqalign);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench: the future-work motifs at real-thread level —
+//! divide-and-conquer mergesort and the 1-D stencil (experiment E9).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use skeletons::dc::{run, run_seq, SortProblem};
+use skeletons::pool::Pool;
+use skeletons::stencil::{stencil_1d, stencil_1d_seq};
+use strand_core::SplitMix64;
+
+fn random_vec(n: usize, seed: u64) -> Vec<i64> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n).map(|_| rng.next_below(1_000_000) as i64).collect()
+}
+
+fn bench_sort_stencil(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sort_stencil");
+    g.sample_size(10);
+
+    g.bench_function("mergesort_seq_50k", |b| {
+        b.iter(|| run_seq(SortProblem(random_vec(50_000, 3))))
+    });
+    g.bench_function("mergesort_dc_50k", |b| {
+        let pool = Pool::new(4, true);
+        b.iter(|| run(&pool, SortProblem(random_vec(50_000, 3))));
+        pool.shutdown();
+    });
+
+    let init: Vec<f64> = (0..4096).map(|i| (i % 17) as f64).collect();
+    g.bench_function("stencil_seq_4096x50", |b| {
+        b.iter(|| stencil_1d_seq(&init, 50))
+    });
+    g.bench_function("stencil_par_4096x50", |b| {
+        let pool = Pool::new(4, true);
+        b.iter(|| stencil_1d(&pool, init.clone(), 50));
+        pool.shutdown();
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sort_stencil);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion bench: typed tree-reduction skeletons under the three
+//! labelings (experiment E4's real-thread companion).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skeletons::{int_eval, random_int_tree, reduce, Labeling, Pool};
+
+fn bench_tree(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tree_reduce");
+    g.sample_size(15);
+    let workers = 4;
+    for labeling in [Labeling::Random(7), Labeling::Paper(7), Labeling::Static] {
+        g.bench_with_input(
+            BenchmarkId::new("labeling", format!("{labeling:?}")),
+            &labeling,
+            |b, &labeling| {
+                let pool = Pool::new(workers, false);
+                b.iter(|| {
+                    reduce(&pool, random_int_tree(256, 5), labeling, |op, l, r| {
+                        int_eval(op, l, r)
+                    })
+                });
+                pool.shutdown();
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_tree);
+criterion_main!(benches);

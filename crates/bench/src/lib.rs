@@ -1,0 +1,18 @@
+//! # bench
+//!
+//! The experiment harness: one function per experiment in EXPERIMENTS.md
+//! (F1–F7 reproduce the paper's figures as executable artifacts; E1–E9
+//! reproduce its evaluation claims as measured tables). The `motif-bench`
+//! binary prints the tables; the criterion benches under `benches/` time
+//! the hot paths.
+//!
+//! All simulator experiments are deterministic: fixed seeds, virtual time.
+//! Real-thread experiments report *work distribution* (tasks per worker,
+//! crossings, live bytes); on a single-core CI box wall-clock speedup is
+//! meaningless, and EXPERIMENTS.md says so.
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::*;
+pub use table::Table;

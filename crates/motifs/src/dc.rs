@@ -1,0 +1,127 @@
+//! The **Divide-and-Conquer** motif (§4 names "divide and conquer" as a
+//! future-work motif area; this is the generic skeleton the tree-reduction
+//! motifs are instances of).
+//!
+//! The user supplies two procedures:
+//!
+//! * `dc_case(P, C)` — classify a problem: `C := base(S)` solves it
+//!   directly, `C := split(P1, P2)` divides it;
+//! * `dc_merge(S1, S2, S)` — combine sub-solutions.
+//!
+//! The library recursively solves problems, shipping one branch of every
+//! split to a random server. Entry goal: `create(P, dc(Problem, Solution))`.
+
+use crate::motif::Motif;
+use crate::rand_map::rand_map_with_entries;
+use crate::server::server;
+
+/// The divide-and-conquer library: four lines, like `Tree1`.
+pub const DC_LIBRARY: &str = r#"
+dc(P, S) :- dc_case(P, C), dc_branch(C, S).
+dc_branch(base(S0), S) :- S = S0.
+dc_branch(split(P1, P2), S) :-
+    dc(P1, S1)@random,
+    dc(P2, S2),
+    dc_merge(S1, S2, S).
+"#;
+
+/// `DivideAndConquer = Server ∘ Rand ∘ DCCore`.
+pub fn divide_and_conquer() -> Motif {
+    let core = Motif::library_only("DCCore", DC_LIBRARY);
+    server()
+        .compose(&rand_map_with_entries(&[("dc", 2)]))
+        .compose(&core)
+}
+
+/// A mergesort instance of the motif: sorts a list of integers.
+///
+/// `dc_case`: lists of length ≤ 1 are base cases; longer lists split in
+/// half. `dc_merge`: standard sorted merge.
+pub const MERGESORT_APP: &str = r#"
+dc_case([], C) :- C := base([]).
+dc_case([X], C) :- C := base([X]).
+dc_case([X, Y|Zs], C) :-
+    halves([X, Y|Zs], [X, Y|Zs], As, Bs),
+    C := split(As, Bs).
+
+% Tortoise-and-hare split: advance two cells on the first list per one
+% element moved to the front half.
+halves([], Rest, As, Bs) :- As := [], Bs := Rest.
+halves([_], Rest, As, Bs) :- As := [], Bs := Rest.
+halves([_, _|T], [X|Xs], As, Bs) :-
+    As := [X|As1],
+    halves(T, Xs, As1, Bs).
+
+dc_merge([], Ys, Zs) :- Zs := Ys.
+dc_merge([X|Xs], [], Zs) :- Zs := [X|Xs].
+dc_merge([X|Xs], [Y|Ys], Zs) :- X =< Y |
+    Zs := [X|Z1], dc_merge(Xs, [Y|Ys], Z1).
+dc_merge([X|Xs], [Y|Ys], Zs) :- X > Y |
+    Zs := [Y|Z1], dc_merge([X|Xs], Ys, Z1).
+"#;
+
+/// List-of-integers source text.
+pub fn int_list_src(xs: &[i64]) -> String {
+    let items: Vec<String> = xs.iter().map(|x| x.to_string()).collect();
+    format!("[{}]", items.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strand_core::SplitMix64;
+    use strand_machine::{run_parsed_goal, MachineConfig};
+
+    fn sort_via_motif(xs: &[i64], nodes: u32, seed: u64) -> Vec<i64> {
+        let p = divide_and_conquer().apply_src(MERGESORT_APP).unwrap();
+        let goal = format!("create({nodes}, dc({}, S))", int_list_src(xs));
+        let r = run_parsed_goal(&p, &goal, MachineConfig::with_nodes(nodes).seed(seed)).unwrap();
+        r.bindings["S"]
+            .as_proper_list()
+            .expect("sorted output is a proper list")
+            .iter()
+            .map(|t| match t {
+                strand_core::Term::Int(i) => *i,
+                other => panic!("non-int {other}"),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn mergesort_sorts() {
+        let xs = [5i64, 3, 9, 1, 4, 1, 8, 0, -2, 7];
+        let mut expected = xs.to_vec();
+        expected.sort_unstable();
+        assert_eq!(sort_via_motif(&xs, 4, 1), expected);
+    }
+
+    #[test]
+    fn mergesort_edge_cases() {
+        assert_eq!(sort_via_motif(&[], 2, 1), Vec::<i64>::new());
+        assert_eq!(sort_via_motif(&[42], 2, 1), vec![42]);
+        assert_eq!(sort_via_motif(&[2, 1], 2, 1), vec![1, 2]);
+        assert_eq!(sort_via_motif(&[1, 1, 1], 2, 1), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn mergesort_random_lists_many_seeds() {
+        for seed in 0..5u64 {
+            let mut rng = SplitMix64::new(seed);
+            let xs: Vec<i64> = (0..60).map(|_| rng.next_below(1000) as i64 - 500).collect();
+            let mut expected = xs.clone();
+            expected.sort_unstable();
+            assert_eq!(sort_via_motif(&xs, 5, seed), expected, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn dc_work_spreads_across_nodes() {
+        let mut rng = SplitMix64::new(3);
+        let xs: Vec<i64> = (0..200).map(|_| rng.next_below(10_000) as i64).collect();
+        let p = divide_and_conquer().apply_src(MERGESORT_APP).unwrap();
+        let goal = format!("create(6, dc({}, S))", int_list_src(&xs));
+        let r = run_parsed_goal(&p, &goal, MachineConfig::with_nodes(6).seed(3)).unwrap();
+        let busy = r.report.metrics.reductions.iter().filter(|&&x| x > 100).count();
+        assert!(busy >= 4, "reductions {:?}", r.report.metrics.reductions);
+    }
+}

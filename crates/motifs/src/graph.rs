@@ -1,0 +1,241 @@
+//! The **Graph** motif (§4 future work: *"various graph theory
+//! problems"*): connected components by edge-partitioned label
+//! propagation.
+//!
+//! A BSP-style algorithm on the Server motif: the coordinator (server 1)
+//! holds the label vector (initially `label(v) = v`); the edge list is
+//! strided across the workers. Each round the coordinator broadcasts the
+//! labels; every worker relaxes its own edges (`min` across each edge) and
+//! sends back an update list; the coordinator merges the updates into the
+//! next label vector and iterates until a fixpoint, then halts the
+//! network. On termination every vertex is labeled with the smallest
+//! vertex id of its component.
+//!
+//! The user provides nothing but the graph — the motif is library-only —
+//! and gets the classic "semi-SIMD on MIMD" structure the paper's
+//! introduction describes, built from the same Server building block as
+//! everything else.
+//!
+//! Entry goal: `create(P, cc(N, Edges, Final))` with `P ≥ 2`; `Edges` is a
+//! list of `e(U, V)` terms over vertices `1..=N`; `Final` is bound to the
+//! component label list in vertex order.
+
+use crate::motif::Motif;
+use crate::server::server;
+
+/// The connected-components library.
+pub const GRAPH_LIBRARY: &str = r#"
+% Graph motif: connected components by label propagation (BSP rounds).
+server(In) :- gserve(In).
+
+gserve([cc(N, Edges, Final)|In]) :-
+    nodes(P),
+    startw(2, P, Edges),
+    init_labels(N, T),
+    round(In, N, P, T, Final).
+gserve([block(Es, I, W)|In]) :-
+    pick(Es, I, W, Mine),
+    gworker(In, Mine).
+gserve([halt|_]).
+
+% Deal the edge list to workers 2..P by stride (each filters in parallel).
+startw(J, P, Edges) :- J =< P |
+    I := J - 1, W := P - 1,
+    send(J, block(Edges, I, W)),
+    J1 := J + 1,
+    startw(J1, P, Edges).
+startw(J, P, _) :- J > P | true.
+
+pick([], _, _, Mine) :- Mine := [].
+pick([E|Es], 1, W, Mine) :- Mine := [E|M1], pick1(Es, W, M1).
+pick([_|Es], I, W, Mine) :- I > 1 | I1 := I - 1, pick(Es, I1, W, Mine).
+pick1(Es, W, Mine) :- pick(Es, W, W, Mine).
+
+init_labels(N, T) :- make_tuple(N, T), seed_labels(1, N, T).
+seed_labels(I, N, T) :- I =< N | put_arg(I, T, I), I1 := I + 1, seed_labels(I1, N, T).
+seed_labels(I, N, _) :- I > N | true.
+
+% One BSP round: broadcast labels, collect worker updates, merge, repeat
+% until no label changed.
+round(In, N, P, T, Final) :-
+    bcast_labels(2, P, T),
+    W := P - 1,
+    collect(In, W, Us, [], In1),
+    make_tuple(N, T1),
+    merge_labels(1, N, T, Us, T1, 0, D),
+    next(D, In1, N, P, T1, Final).
+
+next(0, _, N, _, T1, Final) :- to_list(1, N, T1, Final), halt.
+next(D, In, N, P, T1, Final) :- D > 0 | round(In, N, P, T1, Final).
+
+bcast_labels(J, P, T) :- J =< P | send(J, labels(T)), J1 := J + 1, bcast_labels(J1, P, T).
+bcast_labels(J, P, _) :- J > P | true.
+
+collect(In, 0, Us, Us0, InRest) :- Us = Us0, InRest = In.
+collect([updates(U)|In], K, Us, Us0, InRest) :- K > 0 |
+    app(U, UsMid, Us),
+    K1 := K - 1,
+    collect(In, K1, UsMid, Us0, InRest).
+
+app([], Ys, Zs) :- Zs = Ys.
+app([X|Xs], Ys, Zs) :- Zs := [X|Z1], app(Xs, Ys, Z1).
+
+% merge_labels(I, N, Old, Updates, New, D0, D): New[i] = min(Old[i],
+% updates for i); D counts changed labels.
+merge_labels(I, N, Old, Us, New, D0, D) :- I =< N |
+    arg(I, Old, L0),
+    best(Us, I, L0, L1),
+    put_arg(I, New, L1),
+    bump(L0, L1, D0, D1),
+    I1 := I + 1,
+    merge_labels(I1, N, Old, Us, New, D1, D).
+merge_labels(I, N, _, _, _, D0, D) :- I > N | D := D0.
+
+best([], _, L, L1) :- L1 := L.
+best([u(V, LV)|Us], I, L, L1) :- V == I | M := min(L, LV), best(Us, I, M, L1).
+best([u(V, _)|Us], I, L, L1) :- V =\= I | best(Us, I, L, L1).
+
+bump(L0, L1, D0, D1) :- L0 == L1 | D1 := D0.
+bump(L0, L1, D0, D1) :- L0 =\= L1 | D1 := D0 + 1.
+
+to_list(I, N, T, L) :- I =< N |
+    arg(I, T, X), L := [X|L1], I1 := I + 1, to_list(I1, N, T, L1).
+to_list(I, N, _, L) :- I > N | L := [].
+
+% Worker: per labels broadcast, relax own edges and report updates.
+gworker([labels(T)|In], Es) :-
+    relax(Es, T, Us, []),
+    reply_updates(Us),
+    gworker(In, Es).
+gworker([halt|_], _).
+
+reply_updates(Us) :- send(1, updates(Us)).
+
+relax([], _, Us, Us0) :- Us := Us0.
+relax([e(U, V)|Es], T, Us, Us0) :-
+    arg(U, T, LU), arg(V, T, LV),
+    edge_min(U, V, LU, LV, Us, Us1),
+    relax(Es, T, Us1, Us0).
+
+edge_min(_, V, LU, LV, Us, Us1) :- LU < LV | Us := [u(V, LU)|Us1].
+edge_min(U, _, LU, LV, Us, Us1) :- LU > LV | Us := [u(U, LV)|Us1].
+edge_min(_, _, LU, LV, Us, Us1) :- LU == LV | Us := Us1.
+"#;
+
+/// The Graph (connected components) motif: `Server ∘ {identity, library}`.
+pub fn graph_components() -> Motif {
+    let core = Motif::library_only("GraphCore", GRAPH_LIBRARY);
+    server().compose(&core)
+}
+
+/// Render an edge list as goal source: `[e(1, 2), e(2, 3)]`.
+pub fn edges_src(edges: &[(u32, u32)]) -> String {
+    let items: Vec<String> = edges.iter().map(|(u, v)| format!("e({u}, {v})")).collect();
+    format!("[{}]", items.join(", "))
+}
+
+/// Reference implementation (union-find) for tests and experiments.
+pub fn components_reference(n: u32, edges: &[(u32, u32)]) -> Vec<u32> {
+    let mut parent: Vec<u32> = (0..=n).collect();
+    fn find(parent: &mut Vec<u32>, x: u32) -> u32 {
+        let mut root = x;
+        while parent[root as usize] != root {
+            root = parent[root as usize];
+        }
+        let mut cur = x;
+        while parent[cur as usize] != root {
+            let next = parent[cur as usize];
+            parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+    for (u, v) in edges {
+        let (ru, rv) = (find(&mut parent, *u), find(&mut parent, *v));
+        if ru != rv {
+            let (hi, lo) = if ru > rv { (ru, rv) } else { (rv, ru) };
+            parent[hi as usize] = lo;
+        }
+    }
+    (1..=n).map(|v| find(&mut parent, v)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strand_machine::{run_parsed_goal, MachineConfig, RunStatus};
+
+    fn components(n: u32, edges: &[(u32, u32)], servers: u32) -> Vec<u32> {
+        let p = graph_components().apply_src("noop(1).").expect("graph motif applies");
+        let goal = format!("create({servers}, cc({n}, {}, Final))", edges_src(edges));
+        let r = run_parsed_goal(&p, &goal, MachineConfig::with_nodes(servers).seed(1))
+            .expect("components runs");
+        assert_eq!(r.report.status, RunStatus::Completed, "{:?}", r.report.suspended_goals);
+        r.bindings["Final"]
+            .as_proper_list()
+            .expect("label list")
+            .iter()
+            .map(|t| t.to_string().parse::<u32>().expect("int label"))
+            .collect()
+    }
+
+    #[test]
+    fn path_graph_is_one_component() {
+        let edges = [(1u32, 2), (2, 3), (3, 4), (4, 5)];
+        assert_eq!(components(5, &edges, 3), vec![1, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn two_components_and_an_isolate() {
+        // {1,2,3} ∪ {4,5} ∪ {6}
+        let edges = [(1u32, 2), (2, 3), (4, 5)];
+        assert_eq!(components(6, &edges, 3), vec![1, 1, 1, 4, 4, 6]);
+    }
+
+    #[test]
+    fn ring_and_star() {
+        let ring = [(1u32, 2), (2, 3), (3, 4), (4, 1)];
+        assert_eq!(components(4, &ring, 4), vec![1, 1, 1, 1]);
+        let star = [(5u32, 1), (5, 2), (5, 3), (5, 4)];
+        assert_eq!(components(5, &star, 4), vec![1, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn empty_edge_list_leaves_singletons() {
+        assert_eq!(components(4, &[], 3), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn matches_union_find_on_random_graphs() {
+        let mut rng = strand_core::SplitMix64::new(17);
+        for _ in 0..4 {
+            let n = 10u32;
+            let edges: Vec<(u32, u32)> = (0..12)
+                .map(|_| {
+                    (
+                        1 + rng.next_below(n as u64) as u32,
+                        1 + rng.next_below(n as u64) as u32,
+                    )
+                })
+                .filter(|(u, v)| u != v)
+                .collect();
+            let expected = components_reference(n, &edges);
+            assert_eq!(components(n, &edges, 4), expected, "edges {edges:?}");
+        }
+    }
+
+    #[test]
+    fn work_spreads_across_worker_servers() {
+        // A long path needs many rounds; all workers relax edges.
+        let edges: Vec<(u32, u32)> = (1..20).map(|i| (i, i + 1)).collect();
+        let p = graph_components().apply_src("noop(1).").unwrap();
+        let goal = format!("create(4, cc(20, {}, Final))", edges_src(&edges));
+        let r = run_parsed_goal(&p, &goal, MachineConfig::with_nodes(4).seed(1)).unwrap();
+        assert_eq!(r.report.status, RunStatus::Completed);
+        let busy_workers = r.report.metrics.reductions[1..]
+            .iter()
+            .filter(|&&x| x > 20)
+            .count();
+        assert!(busy_workers >= 3, "{:?}", r.report.metrics.reductions);
+    }
+}

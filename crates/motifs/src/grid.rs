@@ -1,0 +1,160 @@
+//! The **Grid** motif (§4 future work: "grid problems"; §1 cites DIME's
+//! mesh support as a motif-style system).
+//!
+//! A one-dimensional grid relaxation: `N` cells, each holding a value,
+//! iterate `T` steps of a three-point stencil
+//! `v'_i = (v_{i-1} + v_i + v_{i+1}) / 3` with fixed zero boundaries. The
+//! cells are concurrent processes connected by shared streams — this motif
+//! needs *no* server network, demonstrating that motifs are independent
+//! building blocks (streams are the language's native medium, §2.1).
+//!
+//! The stream between neighbor cells A (left) and B (right) carries one
+//! `x(VA, VB)` pair per iteration; whichever cell arrives first creates
+//! the pair with its own half filled, the other fills the remaining slot —
+//! pure single-assignment synchronization, no extra protocol.
+//!
+//! The user supplies `cell_init(I, V)` giving the initial value of cell
+//! `I`. Entry goal: `grid(N, T, Final)`; `Final` lists the final cell
+//! values in order. Cell `I` is placed on machine node `I` (wrapping).
+
+use crate::motif::Motif;
+
+/// The grid library.
+pub const GRID_LIBRARY: &str = r#"
+% grid(N, T, Final): N cells, T iterations, Final = final values in order.
+grid(N, T, Final) :-
+    make_cells(1, N, T, boundary, Final).
+
+make_cells(I, N, T, Left, Final) :- I < N |
+    cell_init(I, V0),
+    Final := [F|F1],
+    cell(T, V0, Left, Right, F)@I,
+    I1 := I + 1,
+    make_cells(I1, N, T, Right, F1).
+make_cells(N, N, T, Left, Final) :-
+    cell_init(N, V0),
+    Final := [F],
+    cell(T, V0, Left, boundary, F)@N.
+
+% cell(T, V, Left, Right, F): F is bound to the final value after T steps.
+cell(0, V, Left, Right, F) :- close_left(Left), close_right(Right), F = V.
+cell(T, V, Left, Right, F) :- T > 0 |
+    exchange(Left, left, V, VL, Left1),
+    exchange(Right, right, V, VR, Right1),
+    step(V, VL, VR, V1),
+    T1 := T - 1,
+    cell(T1, V1, Left1, Right1, F).
+
+% exchange(Stream, Side, MyV, TheirV, Rest): publish MyV, obtain TheirV.
+% The protocol is asymmetric to stay race-free under single assignment:
+% each shared stream is *produced* by its left cell — one x(VA, VB) pair
+% per iteration with VA filled — and the right cell fills the VB slot when
+% the pair arrives (dataflow suspension provides the synchronization).
+exchange(boundary, _, _, TheirV, Rest) :- TheirV := 0, Rest := boundary.
+exchange(S, right, MyV, TheirV, Rest) :-      % I am the producer (left cell)
+    S = [x(MyV, TheirV0)|Rest0],
+    TheirV = TheirV0, Rest = Rest0.
+exchange(S, left, MyV, TheirV, Rest) :-       % I am the consumer (right cell)
+    fill(S, MyV, TheirV, Rest).
+
+fill([x(TheirV0, MySlot)|Rest0], MyV, TheirV, Rest) :-
+    MySlot = MyV, TheirV = TheirV0, Rest = Rest0.
+
+step(V, VL, VR, V1) :- V1 := (VL + V + VR) / 3.
+
+% Closing an edge follows the same asymmetry: the producer terminates its
+% stream; the consumer waits to observe the terminated stream.
+close_left(boundary).
+close_left([]).
+close_right(boundary).
+% The producer is the only writer of its stream, so testing unknown(S) is
+% race-free here: an unbound right edge can only be closed by this cell.
+close_right(S) :- unknown(S) | S = [].
+"#;
+
+/// The Grid motif: library-only (no server network involved).
+pub fn grid() -> Motif {
+    Motif::library_only("Grid", GRID_LIBRARY)
+}
+
+/// Reference sequential stencil for tests: same boundary convention.
+pub fn sequential_stencil(init: &[f64], steps: u32) -> Vec<f64> {
+    let mut cur = init.to_vec();
+    for _ in 0..steps {
+        let mut next = cur.clone();
+        for i in 0..cur.len() {
+            let left = if i == 0 { 0.0 } else { cur[i - 1] };
+            let right = if i + 1 == cur.len() { 0.0 } else { cur[i + 1] };
+            next[i] = (left + cur[i] + right) / 3.0;
+        }
+        cur = next;
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strand_machine::{run_parsed_goal, MachineConfig, RunStatus};
+
+    fn run_grid(n: u32, t: u32, nodes: u32) -> Vec<f64> {
+        // cell_init(I, V): V = I (floats so division stays exact enough).
+        let app = "cell_init(I, V) :- V := I * 1.0.";
+        let p = grid().apply_src(app).unwrap();
+        let goal = format!("grid({n}, {t}, Final)");
+        let r = run_parsed_goal(&p, &goal, MachineConfig::with_nodes(nodes)).unwrap();
+        assert_eq!(
+            r.report.status,
+            RunStatus::Completed,
+            "{:?}",
+            r.report.suspended_goals
+        );
+        r.bindings["Final"]
+            .as_proper_list()
+            .expect("final values list")
+            .iter()
+            .map(|v| match v {
+                strand_core::Term::Float(x) => *x,
+                strand_core::Term::Int(i) => *i as f64,
+                other => panic!("non-number {other}"),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn grid_matches_sequential_stencil() {
+        for (n, t) in [(1u32, 1u32), (2, 3), (5, 4), (8, 10)] {
+            let init: Vec<f64> = (1..=n).map(|i| i as f64).collect();
+            let expected = sequential_stencil(&init, t);
+            let got = run_grid(n, t, 4);
+            assert_eq!(got.len(), expected.len());
+            for (g, e) in got.iter().zip(expected.iter()) {
+                assert!(
+                    (g - e).abs() < 1e-9,
+                    "n={n} t={t}: {got:?} vs {expected:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grid_zero_iterations_returns_initial() {
+        let got = run_grid(4, 0, 2);
+        assert_eq!(got, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn grid_distributes_cells() {
+        let app = "cell_init(I, V) :- V := I * 1.0.";
+        let p = grid().apply_src(app).unwrap();
+        let r = run_parsed_goal(&p, "grid(8, 6, Final)", MachineConfig::with_nodes(4)).unwrap();
+        let active = r
+            .report
+            .metrics
+            .reductions
+            .iter()
+            .filter(|&&x| x > 10)
+            .count();
+        assert!(active >= 3, "reductions {:?}", r.report.metrics.reductions);
+    }
+}

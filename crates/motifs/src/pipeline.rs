@@ -1,0 +1,87 @@
+//! The **Pipeline** motif: a chain of stream-processing stages, each on its
+//! own machine node (stream programming is the language's native idiom,
+//! §2.1; pipelines are the simplest composition of it).
+//!
+//! The user supplies `stage(K, X, Y)`: stage number `K` maps one input
+//! element `X` to one output element `Y`. Entry goal:
+//! `pipe(Stages, Inputs, Outputs)` — `Inputs` is a list; `Outputs` is the
+//! list after every element passed through stages `1..Stages`.
+
+use crate::motif::Motif;
+
+/// The pipeline library.
+pub const PIPELINE_LIBRARY: &str = r#"
+pipe(Stages, Inputs, Outputs) :-
+    wire(1, Stages, Inputs, Outputs).
+
+% wire(K, Stages, In, Out): spawn stage K on node K, feeding stage K+1.
+wire(K, Stages, In, Out) :- K < Stages |
+    runner(K, In, Mid)@K,
+    K1 := K + 1,
+    wire(K1, Stages, Mid, Out).
+wire(K, K, In, Out) :-
+    runner(K, In, Out)@K.
+
+% A runner applies the user's stage to each stream element.
+runner(_, [], Out) :- Out := [].
+runner(K, [X|Xs], Out) :-
+    stage(K, X, Y),
+    Out := [Y|Out1],
+    runner(K, Xs, Out1).
+"#;
+
+/// The Pipeline motif (library-only).
+pub fn pipeline() -> Motif {
+    Motif::library_only("Pipeline", PIPELINE_LIBRARY)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dc::int_list_src;
+    use strand_machine::{run_parsed_goal, MachineConfig, RunStatus};
+
+    #[test]
+    fn three_stage_arithmetic_pipeline() {
+        // stage k adds k to each element: total shift = 1+2+3 = 6.
+        let app = "stage(K, X, Y) :- Y := X + K.";
+        let p = pipeline().apply_src(app).unwrap();
+        let goal = format!("pipe(3, {}, Out)", int_list_src(&[0, 10, 20]));
+        let r = run_parsed_goal(&p, &goal, MachineConfig::with_nodes(3)).unwrap();
+        assert_eq!(r.report.status, RunStatus::Completed);
+        assert_eq!(r.bindings["Out"].to_string(), "[6,16,26]");
+    }
+
+    #[test]
+    fn single_stage_pipeline() {
+        let app = "stage(K, X, Y) :- Y := X * K.";
+        let p = pipeline().apply_src(app).unwrap();
+        let r = run_parsed_goal(&p, "pipe(1, [3, 4], Out)", MachineConfig::default()).unwrap();
+        assert_eq!(r.bindings["Out"].to_string(), "[3,4]");
+    }
+
+    #[test]
+    fn empty_input_flows_through() {
+        let app = "stage(K, X, Y) :- Y := X + K.";
+        let p = pipeline().apply_src(app).unwrap();
+        let r = run_parsed_goal(&p, "pipe(4, [], Out)", MachineConfig::with_nodes(4)).unwrap();
+        assert_eq!(r.bindings["Out"].to_string(), "[]");
+    }
+
+    #[test]
+    fn stages_overlap_in_time() {
+        // With per-element work, a pipeline of S stages over N elements
+        // takes ~ (N + S) units, far below the serial N*S.
+        let app = "stage(_, X, Y) :- work(100), Y := X.";
+        let p = pipeline().apply_src(app).unwrap();
+        let goal = format!("pipe(4, {}, Out)", int_list_src(&(0..16).collect::<Vec<_>>()));
+        let r = run_parsed_goal(&p, &goal, MachineConfig::with_nodes(4)).unwrap();
+        assert_eq!(r.report.status, RunStatus::Completed);
+        let serial = 16 * 4 * 100;
+        assert!(
+            r.report.metrics.makespan < serial / 2,
+            "makespan {} not overlapped (serial {serial})",
+            r.report.metrics.makespan
+        );
+    }
+}

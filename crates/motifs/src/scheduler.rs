@@ -1,0 +1,310 @@
+//! The **Scheduler** motif: manager/worker load balancing.
+//!
+//! The paper cites its scheduler motif as prior work (\[6\], §1) and uses it
+//! as the canonical example of *reuse through modification*: *"a scheduler
+//! motif might be adapted to the demands of a highly parallel computer by
+//! introducing additional levels in its manager/worker hierarchy"*.
+//!
+//! * [`scheduler`] — one manager (server 1) farms tasks to all servers on
+//!   demand: a worker that finishes a task implicitly requests another.
+//! * [`scheduler_hierarchical`] — the modification: tasks are dealt to `G`
+//!   group leaders, each a manager for its own block of workers; the top
+//!   manager only merges group results. This relieves the single-manager
+//!   bottleneck at scale (experiment E7).
+//!
+//! The user supplies `task(T, R)`: compute result `R` for task `T`.
+//! Entry goals: `create(P, start(Tasks, Results))` and
+//! `create(P, start2(Tasks, Results, Groups))` respectively.
+
+use crate::motif::Motif;
+use crate::server::server;
+
+/// The single-level manager/worker library.
+pub const SCHEDULER_LIBRARY: &str = r#"
+% Scheduler motif library: manager on server 1, all servers are workers.
+server(In) :- sched(In).
+
+sched([start(Tasks, Results)|In]) :-
+    nodes(P),
+    prime(P, Tasks, Rest, 0, K),
+    begin(K, In, Rest, Results).
+sched([task(T, W)|In]) :-
+    task(T, R),
+    reply(R, W),
+    sched(In).
+sched([halt|_]).
+
+begin(0, _, _, Results) :- Results := [], halt.
+begin(K, In, Rest, Results) :- K > 0 |
+    manager(In, Rest, K, [], Results).
+
+% Deal one task to each worker P..1 until tasks run out; K counts
+% outstanding tasks.
+prime(0, Tasks, Rest, K, K1) :- Rest := Tasks, K1 := K.
+prime(J, [], Rest, K, K1) :- J > 0 | Rest := [], K1 := K.
+prime(J, [T|Ts], Rest, K, K1) :- J > 0 |
+    send(J, task(T, J)),
+    K2 := K + 1, J1 := J - 1,
+    prime(J1, Ts, Rest, K2, K1).
+
+% Workers send results home; a result is an implicit request for more work.
+reply(R, W) :- data(R) | send(1, result(R, W)).
+
+manager([result(R, W)|In], [T|Ts], K, Acc, Results) :-
+    send(W, task(T, W)),
+    manager(In, Ts, K, [R|Acc], Results).
+manager([result(R, _)|In], [], K, Acc, Results) :- K > 1 |
+    K1 := K - 1,
+    manager(In, [], K1, [R|Acc], Results).
+manager([result(R, _)|_], [], 1, Acc, Results) :-
+    Results := [R|Acc], halt.
+% The manager's node is also a worker: service its tasks inline.
+manager([task(T, W)|In], Ts, K, Acc, Results) :-
+    task(T, R), reply(R, W),
+    manager(In, Ts, K, Acc, Results).
+manager([halt|_], _, _, _, _).
+"#;
+
+/// The two-level (hierarchical) library — the paper's
+/// reuse-through-modification example (§1). The demand-driven core
+/// (`prime → manager → reply`) is the single-level scheduler's, generalized
+/// by a `Home` parameter naming the manager a worker reports to; the new
+/// layer deals task blocks to `G` group leaders and merges their results.
+///
+/// Precondition: `P ≥ G + 1` machine nodes (node 1 is the top manager;
+/// groups of `W = (P-1)/G ≥ 1` workers start at node 2).
+pub const SCHEDULER2_LIBRARY: &str = r#"
+% Hierarchical scheduler: top manager on server 1 deals task blocks to G
+% group leaders; each leader farms within its block of W workers.
+server(In) :- sched(In).
+
+sched([start2(Tasks, Results, G)|In]) :-
+    nodes(P),
+    W := (P - 1) / G,
+    launch(1, G, W, Tasks, Results),
+    top(In, G).
+sched([group_start(Tasks, I, G, Leader, W, Out, Next)|In]) :-
+    pick(Tasks, I, G, Mine),
+    Last := Leader + W - 1,
+    gprime(Last, Leader, Leader, Mine, Rest, 0, K),
+    gbegin(K, In, Leader, Rest, Out, Next).
+sched([task(T, W, Home)|In]) :-
+    task(T, R),
+    reply(R, W, Home),
+    sched(In).
+sched([halt|_]).
+
+% Hand every leader the whole task list plus its stride index; each leader
+% filters its own share in parallel, so the top manager's dispatch work is
+% O(G), not O(#tasks) — the point of the extra hierarchy level. Results are
+% stitched by the leaders themselves through a chain of difference-list
+% holes (Out/Next), so collection is also O(G) at the top.
+launch(I, G, _, _, Hole) :- I > G | Hole = [].
+launch(I, G, W, Tasks, Hole) :- I =< G |
+    Leader := 2 + (I - 1) * W,
+    send(Leader, group_start(Tasks, I, G, Leader, W, Hole, Hole1)),
+    I1 := I + 1,
+    launch(I1, G, W, Tasks, Hole1).
+
+% pick(Tasks, I, G, Mine): the I-th of every G tasks.
+pick([], _, _, Mine) :- Mine := [].
+pick([T|Ts], 1, G, Mine) :- Mine := [T|M1], pick1(Ts, G, M1).
+pick([_|Ts], I, G, Mine) :- I > 1 | I1 := I - 1, pick(Ts, I1, G, Mine).
+pick1(Ts, G, Mine) :- pick(Ts, G, G, Mine).
+
+top([group_done|In], K) :- K > 1 | K1 := K - 1, top(In, K1).
+top([group_done|_], 1) :- halt.
+top([halt|_], _).
+
+% Group leader: prime workers Leader..Leader+W-1 with one task each, then
+% run the demand-driven loop; finished groups report to the top manager.
+gprime(J, First, _, Tasks, Rest, K, K1) :- J < First | Rest := Tasks, K1 := K.
+gprime(J, First, _, [], Rest, K, K1) :- J >= First | Rest := [], K1 := K.
+gprime(J, First, Home, [T|Ts], Rest, K, K1) :- J >= First |
+    send(J, task(T, J, Home)),
+    K2 := K + 1, J1 := J - 1,
+    gprime(J1, First, Home, Ts, Rest, K2, K1).
+
+gbegin(0, In, _, _, Out, Next) :- Out = Next, send(1, group_done), drain(In).
+gbegin(K, In, Leader, Rest, Out, Next) :- K > 0 |
+    gman(In, Leader, Rest, K, [], Out, Next).
+
+gman([result(R, W)|In], Home, [T|Ts], K, Acc, Out, Next) :-
+    send(W, task(T, W, Home)),
+    gman(In, Home, Ts, K, [R|Acc], Out, Next).
+gman([result(R, _)|In], Home, [], K, Acc, Out, Next) :- K > 1 |
+    K1 := K - 1, gman(In, Home, [], K1, [R|Acc], Out, Next).
+gman([result(R, _)|In], _, [], 1, Acc, Out, Next) :-
+    stitch([R|Acc], Out, Next),
+    send(1, group_done),
+    drain(In).
+gman([task(T, W, Home2)|In], Home, Ts, K, Acc, Out, Next) :-
+    task(T, R), reply(R, W, Home2),
+    gman(In, Home, Ts, K, Acc, Out, Next).
+gman([halt|_], _, _, _, _, _, _).
+
+% Splice this group's results into the shared output chain.
+stitch([], Out, Next) :- Out = Next.
+stitch([X|Xs], Out, Next) :- Out := [X|O1], stitch(Xs, O1, Next).
+
+% A finished leader keeps serving worker duties until halted.
+drain([halt|_]).
+drain([task(T, W, Home)|In]) :- task(T, R), reply(R, W, Home), drain(In).
+
+reply(R, W, Home) :- data(R) | send(Home, result(R, W)).
+"#;
+
+/// Single-level scheduler motif: `Server ∘ {identity, SCHEDULER_LIBRARY}`.
+pub fn scheduler() -> Motif {
+    let core = Motif::library_only("SchedulerCore", SCHEDULER_LIBRARY);
+    server().compose(&core)
+}
+
+/// Two-level scheduler motif (reuse through modification, §1).
+pub fn scheduler_hierarchical() -> Motif {
+    let core = Motif::library_only("Scheduler2Core", SCHEDULER2_LIBRARY);
+    server().compose(&core)
+}
+
+/// Generate task list source: `n` tasks `t(cost)` with the given costs.
+pub fn tasks_src(costs: &[u64]) -> String {
+    let items: Vec<String> = costs.iter().map(|c| format!("t({c})")).collect();
+    format!("[{}]", items.join(", "))
+}
+
+/// A simple user task program: `task(t(C), R)` burns `C` ticks of virtual
+/// work and returns `C`.
+pub const BURN_TASK: &str = r#"
+task(t(C), R) :- work(C), R := C.
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strand_machine::{run_parsed_goal, MachineConfig, RunStatus};
+
+    fn run_farm(costs: &[u64], nodes: u32, seed: u64) -> strand_machine::GoalResult {
+        let p = scheduler().apply_src(BURN_TASK).unwrap();
+        let goal = format!(
+            "create({nodes}, start({}, Results))",
+            tasks_src(costs)
+        );
+        run_parsed_goal(&p, &goal, MachineConfig::with_nodes(nodes).seed(seed)).unwrap()
+    }
+
+    #[test]
+    fn farm_computes_all_results_and_halts() {
+        let costs: Vec<u64> = (1..=20).collect();
+        let r = run_farm(&costs, 4, 1);
+        assert_eq!(r.report.status, RunStatus::Completed);
+        let results = r.bindings["Results"].as_proper_list().unwrap();
+        assert_eq!(results.len(), 20);
+        let mut got: Vec<i64> = results
+            .iter()
+            .map(|t| match t {
+                strand_core::Term::Int(i) => *i,
+                other => panic!("non-int result {other}"),
+            })
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, (1..=20).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn farm_handles_empty_task_list() {
+        let r = run_farm(&[], 4, 1);
+        assert_eq!(r.report.status, RunStatus::Completed);
+        assert_eq!(r.bindings["Results"].to_string(), "[]");
+    }
+
+    #[test]
+    fn farm_with_fewer_tasks_than_workers() {
+        let r = run_farm(&[5, 5], 8, 1);
+        assert_eq!(r.report.status, RunStatus::Completed);
+        assert_eq!(r.bindings["Results"].as_proper_list().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn farm_balances_nonuniform_tasks() {
+        // One giant task plus many small ones: demand-driven dispatch keeps
+        // other workers busy with the small tasks.
+        let mut costs = vec![2000u64];
+        costs.extend(std::iter::repeat(50).take(40));
+        let r = run_farm(&costs, 4, 2);
+        assert_eq!(r.report.status, RunStatus::Completed);
+        let m = &r.report.metrics;
+        // The makespan must be far below the serial sum, and within ~3x of
+        // the critical path (the giant task).
+        let serial: u64 = costs.iter().sum();
+        assert!(m.makespan < serial, "makespan {} vs serial {serial}", m.makespan);
+        assert!(m.makespan < 3 * 2000, "makespan {}", m.makespan);
+    }
+
+    #[test]
+    fn farm_on_one_node_is_serial() {
+        let costs = [10u64, 10, 10, 10];
+        let r = run_farm(&costs, 1, 3);
+        assert_eq!(r.report.status, RunStatus::Completed);
+        assert!(r.report.metrics.makespan >= 40);
+    }
+
+    fn run_farm2(costs: &[u64], nodes: u32, groups: u32, seed: u64) -> strand_machine::GoalResult {
+        let p = scheduler_hierarchical().apply_src(BURN_TASK).unwrap();
+        let goal = format!(
+            "create({nodes}, start2({}, Results, {groups}))",
+            tasks_src(costs)
+        );
+        run_parsed_goal(&p, &goal, MachineConfig::with_nodes(nodes).seed(seed)).unwrap()
+    }
+
+    #[test]
+    fn hierarchical_farm_computes_all_results() {
+        let costs: Vec<u64> = (1..=30).collect();
+        let r = run_farm2(&costs, 9, 2, 1);
+        assert_eq!(r.report.status, RunStatus::Completed);
+        let mut got: Vec<i64> = r.bindings["Results"]
+            .as_proper_list()
+            .unwrap()
+            .iter()
+            .map(|t| match t {
+                strand_core::Term::Int(i) => *i,
+                other => panic!("non-int result {other}"),
+            })
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, (1..=30).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn hierarchical_farm_empty_tasks() {
+        let r = run_farm2(&[], 9, 2, 1);
+        assert_eq!(r.report.status, RunStatus::Completed);
+        assert_eq!(r.bindings["Results"].to_string(), "[]");
+    }
+
+    #[test]
+    fn hierarchy_relieves_manager_bottleneck() {
+        // E7: many short tasks on a wide machine. The single manager
+        // handles every result on node 1 (its busy time grows linearly with
+        // the task count); two levels leave node 1 only G group messages.
+        let costs: Vec<u64> = vec![5; 240];
+        let nodes = 25u32;
+        let r1 = run_farm(&costs, nodes, 7);
+        let r2 = run_farm2(&costs, nodes, 4, 7);
+        assert_eq!(r1.report.status, RunStatus::Completed);
+        assert_eq!(r2.report.status, RunStatus::Completed);
+        let busy1 = r1.report.metrics.busy[0];
+        let busy2 = r2.report.metrics.busy[0];
+        assert!(
+            busy2 * 2 < busy1,
+            "top-manager busy time should drop by >2x: 1-level {busy1}, 2-level {busy2}"
+        );
+        // Messages into node 1: per-task in 1-level, per-group in 2-level.
+        let into1: u64 = r1.report.metrics.messages.iter().map(|row| row[0]).sum();
+        let into2: u64 = r2.report.metrics.messages.iter().map(|row| row[0]).sum();
+        assert!(
+            into2 * 4 < into1,
+            "manager inbox traffic should drop by >4x: {into1} vs {into2}"
+        );
+    }
+}

@@ -1,0 +1,109 @@
+//! The **Search** motif (§4 future work; §1 cites or-parallel Prolog as a
+//! motif-style system: *"the user provides logic clauses that specify a
+//! search problem and the system explores the corresponding search tree"*).
+//!
+//! The user supplies:
+//!
+//! * `branch(Node, Kids)` — expand a search node into a (possibly empty)
+//!   list of children;
+//! * `accept(Node, Count)` — score a node with no children (1 if it is a
+//!   solution, else 0).
+//!
+//! The library counts solutions of the search tree, shipping each child
+//! exploration to a random server. Entry goal:
+//! `create(P, search(Root, Count))`.
+
+use crate::motif::Motif;
+use crate::rand_map::rand_map_with_entries;
+use crate::server::server;
+
+/// The or-parallel search library.
+pub const SEARCH_LIBRARY: &str = r#"
+search(Node, Count) :-
+    branch(Node, Kids),
+    explore(Kids, Node, Count).
+explore([], Node, Count) :- accept(Node, Count).
+explore([K|Ks], _, Count) :- sum_kids([K|Ks], Count).
+sum_kids([], C) :- C := 0.
+sum_kids([K|Ks], C) :-
+    search(K, C1)@random,
+    sum_kids(Ks, C2),
+    add_counts(C1, C2, C).
+add_counts(C1, C2, C) :- C := C1 + C2.
+"#;
+
+/// `Search = Server ∘ Rand ∘ SearchCore`.
+pub fn search() -> Motif {
+    let core = Motif::library_only("SearchCore", SEARCH_LIBRARY);
+    server()
+        .compose(&rand_map_with_entries(&[("search", 2)]))
+        .compose(&core)
+}
+
+/// A small N-queens instance expressed with `branch/accept`: a node is
+/// `q(N, Placed, Row)` — place queens row by row on an N×N board; `Placed`
+/// is the list of column positions so far (most recent first).
+pub const NQUEENS_APP: &str = r#"
+branch(q(N, _, Row), Kids) :- Row > N | Kids := [].
+branch(q(N, Placed, Row), Kids) :- Row =< N |
+    cols(N, q(N, Placed, Row), Kids, []).
+
+% Try each column; keep only safe placements.
+cols(0, _, Kids, Kids0) :- Kids := Kids0.
+cols(C, q(N, Placed, Row), Kids, Kids0) :- C > 0 |
+    safe(Placed, C, 1, Ok),
+    keep(Ok, C, q(N, Placed, Row), Kids, Kids1),
+    C1 := C - 1,
+    cols(C1, q(N, Placed, Row), Kids1, Kids0).
+
+keep(yes, C, q(N, Placed, Row), Kids, Kids1) :-
+    Row1 := Row + 1,
+    Kids := [q(N, [C|Placed], Row1)|Kids1].
+keep(no, _, _, Kids, Kids1) :- Kids := Kids1.
+
+% safe(Placed, Col, Dist, Ok): no placed queen attacks (Col) at distance.
+safe([], _, _, Ok) :- Ok := yes.
+safe([P|_], C, _, Ok) :- P == C | Ok := no.
+safe([P|Ps], C, D, Ok) :- P =\= C |
+    Diff := P - C, AbsD := abs(Diff),
+    diag(AbsD, D, Ps, C, Ok).
+diag(AbsD, D, _, _, Ok) :- AbsD == D | Ok := no.
+diag(AbsD, D, Ps, C, Ok) :- AbsD =\= D |
+    D1 := D + 1, safe(Ps, C, D1, Ok).
+
+% A node with no children is a solution iff all N queens are placed.
+accept(q(N, _, Row), Count) :- Row > N | Count := 1.
+accept(q(N, _, Row), Count) :- Row =< N | Count := 0.
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strand_machine::{run_parsed_goal, MachineConfig};
+
+    fn queens(n: u32, nodes: u32, seed: u64) -> i64 {
+        let p = search().apply_src(NQUEENS_APP).unwrap();
+        let goal = format!("create({nodes}, search(q({n}, [], 1), Count))");
+        let r = run_parsed_goal(&p, &goal, MachineConfig::with_nodes(nodes).seed(seed)).unwrap();
+        match r.bindings["Count"] {
+            strand_core::Term::Int(i) => i,
+            ref other => panic!("non-int count {other}"),
+        }
+    }
+
+    #[test]
+    fn nqueens_counts_match_known_values() {
+        // OEIS A000170: 1, 0, 0, 2, 10, 4 for N = 1..6.
+        assert_eq!(queens(1, 2, 1), 1);
+        assert_eq!(queens(2, 2, 1), 0);
+        assert_eq!(queens(3, 2, 1), 0);
+        assert_eq!(queens(4, 3, 1), 2);
+        assert_eq!(queens(5, 4, 1), 10);
+    }
+
+    #[test]
+    fn six_queens_parallel_equals_serial() {
+        assert_eq!(queens(6, 4, 2), 4);
+        assert_eq!(queens(6, 1, 2), 4);
+    }
+}

@@ -1,0 +1,151 @@
+//! FASTA-style input/output for sequence families.
+//!
+//! The application substitutes synthetic families for the 1990 lab data
+//! (DESIGN.md §3), but a downstream user has real files; this module reads
+//! and writes the standard FASTA text format so the pipeline accepts
+//! external sequences, and renders alignments for inspection.
+
+use crate::align::Profile;
+
+/// Write sequences as FASTA text, one record per sequence.
+pub fn to_fasta(names: &[String], seqs: &[Vec<u8>]) -> String {
+    assert_eq!(names.len(), seqs.len(), "one name per sequence");
+    let mut out = String::new();
+    for (name, seq) in names.iter().zip(seqs.iter()) {
+        out.push('>');
+        out.push_str(name);
+        out.push('\n');
+        for line in seq.chunks(60) {
+            out.push_str(&String::from_utf8_lossy(line));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Parse FASTA text into (names, sequences). Understands `>` headers,
+/// wrapped sequence lines, blank lines, and `;` comments; uppercases
+/// residues and maps `T` to `U` (DNA input for an RNA pipeline).
+pub fn parse_fasta(text: &str) -> Result<(Vec<String>, Vec<Vec<u8>>), String> {
+    let mut names = Vec::new();
+    let mut seqs: Vec<Vec<u8>> = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with(';') {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('>') {
+            names.push(header.trim().to_string());
+            seqs.push(Vec::new());
+            continue;
+        }
+        let current = seqs
+            .last_mut()
+            .ok_or_else(|| format!("line {}: sequence data before any '>' header", lineno + 1))?;
+        for ch in line.bytes() {
+            let b = ch.to_ascii_uppercase();
+            let b = if b == b'T' { b'U' } else { b };
+            if !matches!(b, b'A' | b'C' | b'G' | b'U') {
+                return Err(format!(
+                    "line {}: unsupported residue {:?}",
+                    lineno + 1,
+                    ch as char
+                ));
+            }
+            current.push(b);
+        }
+    }
+    if names.is_empty() {
+        return Err("no FASTA records found".into());
+    }
+    if seqs.iter().any(Vec::is_empty) {
+        return Err("a FASTA record has an empty sequence".into());
+    }
+    Ok((names, seqs))
+}
+
+/// Render an alignment profile as a FASTA-style consensus record plus a
+/// per-column conservation track (`*` fully conserved, `:` ≥ 0.75, `.` ≥
+/// 0.5, space otherwise).
+pub fn render_alignment(name: &str, profile: &Profile) -> String {
+    let consensus = profile.consensus();
+    let track: String = profile
+        .cols
+        .iter()
+        .map(|c| {
+            let top = c.iter().fold(0.0f32, |m, x| m.max(*x));
+            if top >= 0.999 {
+                '*'
+            } else if top >= 0.75 {
+                ':'
+            } else if top >= 0.5 {
+                '.'
+            } else {
+                ' '
+            }
+        })
+        .collect();
+    format!(
+        ">{name} | {} sequences, {} columns, {:.1}% identity\n{consensus}\n{track}\n",
+        profile.seqs,
+        profile.len(),
+        profile.column_identity() * 100.0
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::align::ScoreParams;
+    use crate::msa::align_family_seq;
+    use crate::rna::{generate_family, FamilyParams};
+
+    #[test]
+    fn fasta_roundtrip() {
+        let fam = generate_family(&FamilyParams {
+            leaves: 4,
+            ancestral_len: 70,
+            ..Default::default()
+        });
+        let names: Vec<String> = (0..4).map(|i| format!("org_{i}")).collect();
+        let text = to_fasta(&names, &fam.sequences);
+        let (names2, seqs2) = parse_fasta(&text).unwrap();
+        assert_eq!(names, names2);
+        assert_eq!(fam.sequences, seqs2);
+    }
+
+    #[test]
+    fn parser_handles_wrapping_case_and_dna() {
+        let text = ">x\nacg\nt\n\n>y desc here\nGGCC\n";
+        let (names, seqs) = parse_fasta(text).unwrap();
+        assert_eq!(names, vec!["x".to_string(), "y desc here".to_string()]);
+        assert_eq!(seqs[0], b"ACGU".to_vec()); // T -> U, lowercase ok, wrap joined
+        assert_eq!(seqs[1], b"GGCC".to_vec());
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse_fasta("ACGU\n").is_err()); // data before header
+        assert!(parse_fasta(">x\nACGX\n").is_err()); // bad residue
+        assert!(parse_fasta("").is_err()); // empty
+        assert!(parse_fasta(">x\n>y\nACGU\n").is_err()); // empty record
+    }
+
+    #[test]
+    fn alignment_renders_with_conservation_track() {
+        let fam = generate_family(&FamilyParams {
+            leaves: 6,
+            ancestral_len: 50,
+            seed: 3,
+            ..Default::default()
+        });
+        let profile = align_family_seq(&fam.sequences, &ScoreParams::default());
+        let text = render_alignment("family", &profile);
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].starts_with(">family | 6 sequences"));
+        assert_eq!(lines[1].len(), profile.len());
+        assert_eq!(lines[2].len(), profile.len());
+        // A related family has plenty of conserved columns.
+        assert!(lines[2].matches('*').count() > profile.len() / 4);
+    }
+}

@@ -1,0 +1,203 @@
+//! Running the alignment inside the simulated multicomputer — the paper's
+//! full architecture.
+//!
+//! In 1990 the application was *"2000 lines of Strand and C"*: Strand
+//! coordinated, C computed. This module reproduces that split exactly: the
+//! motif language coordinates (Tree-Reduce motifs on the simulator) while
+//! the node evaluation runs natively ([`register_align_node`] installs the
+//! Rust `align_node` as a foreign procedure, §2.1's multilingual approach).
+//!
+//! Profiles cross the language boundary as terms:
+//! `profile(Seqs, [col(A, C, G, U, Gap)|…])`; a leaf may simply be the
+//! sequence string, which the foreign procedure promotes to a profile.
+
+use crate::align::{align_profiles, Profile, ScoreParams};
+use crate::rna::Phylo;
+use strand_core::{StrandError, StrandResult, Term};
+use strand_machine::Machine;
+
+/// Encode a profile as a term.
+pub fn profile_to_term(p: &Profile) -> Term {
+    let cols = p.cols.iter().map(|c| {
+        Term::tuple(
+            "col",
+            c.iter().map(|x| Term::float(*x as f64)).collect(),
+        )
+    });
+    Term::tuple(
+        "profile",
+        vec![Term::int(p.seqs as i64), Term::list(cols)],
+    )
+}
+
+/// Decode a profile term (or promote a sequence string).
+pub fn term_to_profile(t: &Term) -> StrandResult<Profile> {
+    match t {
+        Term::Str(s) => Ok(Profile::from_sequence(s.as_bytes())),
+        Term::Tuple(name, args) if name.as_str() == "profile" && args.len() == 2 => {
+            let seqs = match &args[0] {
+                Term::Int(i) if *i >= 0 => *i as u32,
+                other => {
+                    return Err(StrandError::Other(format!(
+                        "bad profile sequence count: {other}"
+                    )))
+                }
+            };
+            let col_terms = args[1]
+                .as_proper_list()
+                .ok_or_else(|| StrandError::Other("profile columns must be a list".into()))?;
+            let mut cols = Vec::with_capacity(col_terms.len());
+            for ct in col_terms {
+                let parts = match &ct {
+                    Term::Tuple(n, parts) if n.as_str() == "col" && parts.len() == 5 => parts,
+                    other => {
+                        return Err(StrandError::Other(format!("bad column term: {other}")))
+                    }
+                };
+                let mut col = [0.0f32; 5];
+                for (i, p) in parts.iter().enumerate() {
+                    col[i] = match p {
+                        Term::Float(x) => *x as f32,
+                        Term::Int(i) => *i as f32,
+                        other => {
+                            return Err(StrandError::Other(format!(
+                                "bad column entry: {other}"
+                            )))
+                        }
+                    };
+                }
+                cols.push(col);
+            }
+            Ok(Profile { cols, seqs })
+        }
+        other => Err(StrandError::Other(format!(
+            "not a profile or sequence: {other}"
+        ))),
+    }
+}
+
+/// Install `align_node/3` on a machine: `align_node(A, B, Merged)` aligns
+/// two profiles (or sequence strings) natively and charges a virtual cost
+/// proportional to the DP matrix size — the quadratic cost of the real
+/// Needleman–Wunsch computation.
+pub fn register_align_node(machine: &mut Machine, params: ScoreParams, cost_divisor: u64) {
+    machine.register_foreign("align_node", 3, move |args| {
+        let a = term_to_profile(&args[0])?;
+        let b = term_to_profile(&args[1])?;
+        let cost = (a.len() as u64 * b.len() as u64) / cost_divisor.max(1) + 1;
+        let merged = align_profiles(&a, &b, &params).profile;
+        Ok((profile_to_term(&merged), cost))
+    });
+}
+
+/// Render a guide tree over sequences as a motif-language tree term whose
+/// leaves are the sequence strings: `tree(n, leaf("ACGU…"), …)`.
+pub fn guide_tree_src(tree: &Phylo, seqs: &[Vec<u8>]) -> String {
+    match tree {
+        Phylo::Leaf(i) => format!(
+            "leaf(\"{}\")",
+            String::from_utf8_lossy(&seqs[*i])
+        ),
+        Phylo::Node(l, r) => format!(
+            "tree(n, {}, {})",
+            guide_tree_src(l, seqs),
+            guide_tree_src(r, seqs)
+        ),
+    }
+}
+
+/// The node-evaluation program for the simulator: wait for both operands,
+/// then call the native aligner.
+pub const ALIGN_EVAL: &str = r#"
+eval(_, L, R, Value) :- data(L), data(R) | align_node(L, R, Value).
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rna::{generate_family, FamilyParams};
+    use crate::upgma::guide_tree;
+    use strand_machine::{ast_to_term, MachineConfig, RunStatus};
+    use strand_parse::{compile_program, parse_program, parse_term};
+
+    #[test]
+    fn profile_term_roundtrip() {
+        let p = Profile::from_sequence(b"ACGUAC");
+        let t = profile_to_term(&p);
+        let back = term_to_profile(&t).unwrap();
+        assert_eq!(p, back);
+        // Strings promote.
+        assert_eq!(term_to_profile(&Term::str("ACGU")).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn bad_terms_are_rejected() {
+        assert!(term_to_profile(&Term::int(3)).is_err());
+        assert!(term_to_profile(&Term::tuple("profile", vec![Term::int(1), Term::int(2)])).is_err());
+    }
+
+    fn run_sim_msa(
+        motif: motifs_like::Which,
+        seqs: &[Vec<u8>],
+        servers: u32,
+    ) -> (Profile, strand_machine::RunReport) {
+        // Build the motif program (TR1 or TR2) over the align eval.
+        let program = match motif {
+            motifs_like::Which::Tr1 => motifs_like::tr1_program(),
+            motifs_like::Which::Tr2 => motifs_like::tr2_program(),
+        };
+        let compiled = compile_program(&program).unwrap();
+        let mut machine = Machine::new(compiled, MachineConfig::with_nodes(servers).seed(4));
+        register_align_node(&mut machine, ScoreParams::default(), 8);
+        let guide = guide_tree(seqs, &ScoreParams::default());
+        let tree_src = guide_tree_src(&guide, seqs);
+        let goal_src = match motif {
+            motifs_like::Which::Tr1 => format!("create({servers}, reduce({tree_src}, Value))"),
+            motifs_like::Which::Tr2 => format!("create({servers}, tr2({tree_src}, Value))"),
+        };
+        let goal_ast = parse_term(&goal_src).unwrap();
+        let mut vars = std::collections::BTreeMap::new();
+        let goal = ast_to_term(&goal_ast, &mut machine, &mut vars);
+        machine.start(goal);
+        let report = machine.run().unwrap();
+        let value = machine.store().resolve(&vars["Value"]);
+        (term_to_profile(&value).unwrap(), report)
+    }
+
+    /// Small helper namespace so the test reads clearly.
+    mod motifs_like {
+        pub enum Which {
+            Tr1,
+            Tr2,
+        }
+        pub fn tr1_program() -> strand_parse::Program {
+            motifs::tree_reduce_1()
+                .apply_src(super::ALIGN_EVAL)
+                .expect("TR1 applies to align eval")
+        }
+        pub fn tr2_program() -> strand_parse::Program {
+            motifs::tree_reduce_2()
+                .apply_src(super::ALIGN_EVAL)
+                .expect("TR2 applies to align eval")
+        }
+    }
+
+    #[test]
+    fn full_msa_runs_inside_the_simulator() {
+        let fam = generate_family(&FamilyParams {
+            leaves: 8,
+            ancestral_len: 60,
+            seed: 21,
+            ..Default::default()
+        });
+        let reference = crate::msa::align_family_seq(&fam.sequences, &ScoreParams::default());
+        let (p1, r1) = run_sim_msa(motifs_like::Which::Tr1, &fam.sequences, 4);
+        assert_eq!(p1, reference, "TR1 simulator alignment matches native");
+        assert!(matches!(r1.status, RunStatus::Quiescent { .. }));
+        let (p2, r2) = run_sim_msa(motifs_like::Which::Tr2, &fam.sequences, 4);
+        assert_eq!(p2, reference, "TR2 simulator alignment matches native");
+        assert_eq!(r2.status, RunStatus::Completed);
+        // The native cost model shows up in the virtual clock.
+        assert!(r1.metrics.makespan > 100);
+    }
+}

@@ -1,0 +1,189 @@
+//! UPGMA guide-tree construction.
+//!
+//! The paper's application *"first generates a binary 'phylogenetic tree',
+//! in which subtrees represent clusters of more closely related
+//! organisms"*. UPGMA (unweighted pair group method with arithmetic mean)
+//! is the classic way to build that guide tree from a pairwise distance
+//! matrix.
+
+use crate::align::{pair_distance, ScoreParams};
+use crate::rna::Phylo;
+
+/// Build the full pairwise distance matrix (upper triangle mirrored).
+pub fn distance_matrix(seqs: &[Vec<u8>], p: &ScoreParams) -> Vec<Vec<f64>> {
+    let n = seqs.len();
+    let mut d = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dist = pair_distance(&seqs[i], &seqs[j], p);
+            d[i][j] = dist;
+            d[j][i] = dist;
+        }
+    }
+    d
+}
+
+/// UPGMA clustering over a distance matrix; returns a binary guide tree
+/// whose leaves are sequence indices.
+pub fn upgma(dist: &[Vec<f64>]) -> Phylo {
+    let n = dist.len();
+    assert!(n >= 1, "need at least one sequence");
+    // Active clusters: (tree, member count); matrix d holds inter-cluster
+    // average distances, rebuilt by index juggling.
+    let mut clusters: Vec<(Phylo, usize)> = (0..n).map(|i| (Phylo::Leaf(i), 1)).collect();
+    let mut d: Vec<Vec<f64>> = dist.to_vec();
+    while clusters.len() > 1 {
+        // Find the closest pair (i < j), deterministic tie-break by index.
+        let (mut bi, mut bj, mut best) = (0, 1, f64::INFINITY);
+        for i in 0..clusters.len() {
+            for j in (i + 1)..clusters.len() {
+                if d[i][j] < best {
+                    best = d[i][j];
+                    bi = i;
+                    bj = j;
+                }
+            }
+        }
+        // Merge j into i (UPGMA average weighted by member counts).
+        let (tj, sj) = clusters.remove(bj);
+        let (ti, si) = clusters.remove(bi);
+        let merged = Phylo::Node(Box::new(ti), Box::new(tj));
+        let new_size = si + sj;
+        // Distances from the merged cluster to every remaining cluster.
+        let mut new_row = Vec::with_capacity(clusters.len());
+        for (k, _) in d.iter().enumerate() {
+            if k == bi || k == bj {
+                continue;
+            }
+            let avg = (d[bi][k] * si as f64 + d[bj][k] * sj as f64) / new_size as f64;
+            new_row.push(avg);
+        }
+        // Rebuild the matrix without rows/cols bi, bj, then append the row.
+        let mut nd: Vec<Vec<f64>> = Vec::with_capacity(clusters.len() + 1);
+        for (r, row) in d.iter().enumerate() {
+            if r == bi || r == bj {
+                continue;
+            }
+            let mut new = Vec::with_capacity(clusters.len() + 1);
+            for (c, v) in row.iter().enumerate() {
+                if c == bi || c == bj {
+                    continue;
+                }
+                new.push(*v);
+            }
+            nd.push(new);
+        }
+        for (r, row) in nd.iter_mut().enumerate() {
+            row.push(new_row[r]);
+        }
+        let mut last = new_row;
+        last.push(0.0);
+        nd.push(last);
+        d = nd;
+        clusters.push((merged, new_size));
+    }
+    clusters.pop().expect("one cluster remains").0
+}
+
+/// Convenience: distance matrix + UPGMA in one call.
+pub fn guide_tree(seqs: &[Vec<u8>], p: &ScoreParams) -> Phylo {
+    upgma(&distance_matrix(seqs, p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rna::{generate_family, FamilyParams};
+
+    #[test]
+    fn single_sequence_is_a_leaf() {
+        assert_eq!(upgma(&[vec![0.0]]), Phylo::Leaf(0));
+    }
+
+    #[test]
+    fn two_sequences_join() {
+        let d = vec![vec![0.0, 0.3], vec![0.3, 0.0]];
+        let t = upgma(&d);
+        assert_eq!(
+            t,
+            Phylo::Node(Box::new(Phylo::Leaf(0)), Box::new(Phylo::Leaf(1)))
+        );
+    }
+
+    #[test]
+    fn closest_pair_joins_first() {
+        // 0 and 2 are closest; they must share the deepest node.
+        let d = vec![
+            vec![0.0, 0.9, 0.1],
+            vec![0.9, 0.0, 0.8],
+            vec![0.1, 0.8, 0.0],
+        ];
+        let t = upgma(&d);
+        match t {
+            Phylo::Node(l, r) => {
+                let pair = [l.leaf_ids(), r.leaf_ids()];
+                assert!(
+                    pair.contains(&vec![0, 2]) || pair.contains(&vec![2, 0]),
+                    "{pair:?}"
+                );
+            }
+            other => panic!("expected node, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn all_leaves_present_exactly_once() {
+        let fam = generate_family(&FamilyParams {
+            leaves: 10,
+            ancestral_len: 60,
+            ..Default::default()
+        });
+        let t = guide_tree(&fam.sequences, &ScoreParams::default());
+        let mut ids = t.leaf_ids();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn guide_tree_reflects_relatedness() {
+        // Two clearly separated clusters: {0,1} mutated from one ancestor,
+        // {2,3} from an unrelated one. The root must split them.
+        let a = b"ACGUACGUACGUACGUACGUACGUACGUACGU".to_vec();
+        let mut a2 = a.clone();
+        a2[3] = b'C';
+        let b = b"GGGGCCCCAAAAUUUUGGGGCCCCAAAAUUUU".to_vec();
+        let mut b2 = b.clone();
+        b2[7] = b'A';
+        let t = guide_tree(&[a, a2, b, b2], &ScoreParams::default());
+        match t {
+            Phylo::Node(l, r) => {
+                let mut left = l.leaf_ids();
+                let mut right = r.leaf_ids();
+                left.sort_unstable();
+                right.sort_unstable();
+                let groups = [left, right];
+                assert!(
+                    groups.contains(&vec![0, 1]) && groups.contains(&vec![2, 3]),
+                    "{groups:?}"
+                );
+            }
+            other => panic!("expected node, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn distance_matrix_is_symmetric_zero_diagonal() {
+        let fam = generate_family(&FamilyParams {
+            leaves: 5,
+            ancestral_len: 40,
+            ..Default::default()
+        });
+        let d = distance_matrix(&fam.sequences, &ScoreParams::default());
+        for i in 0..5 {
+            assert_eq!(d[i][i], 0.0);
+            for j in 0..5 {
+                assert!((d[i][j] - d[j][i]).abs() < 1e-12);
+            }
+        }
+    }
+}

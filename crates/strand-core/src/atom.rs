@@ -1,0 +1,140 @@
+//! Interned-style symbolic constants.
+//!
+//! Strand atoms (`sync`, `halt`, functor names, …) appear everywhere in
+//! terms and patterns, so they must be cheap to clone and compare. We wrap
+//! an `Arc<str>`: cloning is a refcount bump, and equality first tries
+//! pointer identity before falling back to a string compare.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::sync::Arc;
+
+/// A symbolic constant (lowercase identifier in the surface syntax).
+///
+/// ```
+/// use strand_core::Atom;
+/// let a = Atom::new("reduce");
+/// let b = a.clone();
+/// assert_eq!(a, b);
+/// assert_eq!(a.as_str(), "reduce");
+/// ```
+#[derive(Clone, Eq)]
+pub struct Atom(Arc<str>);
+
+impl Atom {
+    /// Create an atom from any string-like value.
+    pub fn new(s: impl Into<Arc<str>>) -> Self {
+        Atom(s.into())
+    }
+
+    /// The atom's textual name.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl PartialEq for Atom {
+    fn eq(&self, other: &Self) -> bool {
+        // Fast path: same allocation (common after cloning through rules).
+        Arc::ptr_eq(&self.0, &other.0) || self.0 == other.0
+    }
+}
+
+impl PartialEq<str> for Atom {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for Atom {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+impl std::hash::Hash for Atom {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.0.hash(state);
+    }
+}
+
+impl PartialOrd for Atom {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Atom {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_str().cmp(other.as_str())
+    }
+}
+
+impl fmt::Debug for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<&str> for Atom {
+    fn from(s: &str) -> Self {
+        Atom::new(s)
+    }
+}
+
+impl From<String> for Atom {
+    fn from(s: String) -> Self {
+        Atom::new(s)
+    }
+}
+
+impl Borrow<str> for Atom {
+    fn borrow(&self) -> &str {
+        self.as_str()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn equality_and_clone() {
+        let a = Atom::new("eval");
+        let b = a.clone();
+        let c = Atom::new(String::from("eval"));
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        assert_ne!(a, Atom::new("evaluate"));
+    }
+
+    #[test]
+    fn str_comparison() {
+        let a = Atom::new("halt");
+        assert_eq!(a, "halt");
+        assert!(a == "halt");
+    }
+
+    #[test]
+    fn works_as_hash_key() {
+        let mut set = HashSet::new();
+        set.insert(Atom::new("send"));
+        assert!(set.contains("send"));
+        assert!(!set.contains("recv"));
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let mut v = vec![Atom::new("server"), Atom::new("eval"), Atom::new("reduce")];
+        v.sort();
+        let names: Vec<_> = v.iter().map(|a| a.as_str().to_string()).collect();
+        assert_eq!(names, ["eval", "reduce", "server"]);
+    }
+}

@@ -1,0 +1,502 @@
+//! One-way head matching and guard evaluation.
+//!
+//! *"Conditions expressed by non-variable terms in a rule head define
+//! dataflow constraints: a rule cannot be used to reduce a process until the
+//! process's arguments match its own"* (§2.1). Matching is one-way: rule
+//! patterns never bind goal variables; a non-variable pattern position whose
+//! goal counterpart is an unbound variable causes *suspension*, not failure.
+
+use crate::arith::{eval_arith, Evaled};
+use crate::error::StrandResult;
+use crate::pat::{Frame, Pat};
+use crate::store::{Store, VarId};
+use crate::term::Term;
+
+/// Outcome of matching goal arguments against a rule head.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MatchOutcome {
+    /// Head matched; the frame holds the local bindings.
+    Match,
+    /// Not enough data yet: these goal variables must be bound first.
+    Suspend(Vec<VarId>),
+    /// Definitive mismatch.
+    Fail,
+}
+
+/// Outcome of evaluating one guard test.
+#[derive(Clone, Debug, PartialEq)]
+pub enum GuardOutcome {
+    True,
+    False,
+    /// Guard needs these variables bound before it can be decided.
+    Suspend(Vec<VarId>),
+}
+
+fn push_unique(vs: &mut Vec<VarId>, v: VarId) {
+    if !vs.contains(&v) {
+        vs.push(v);
+    }
+}
+
+/// Match goal arguments against head patterns, filling `frame`.
+///
+/// On [`MatchOutcome::Suspend`] or [`MatchOutcome::Fail`] the frame contents
+/// are unspecified and the caller must discard it.
+pub fn match_args(
+    goal_args: &[Term],
+    head: &[Pat],
+    store: &Store,
+    frame: &mut Frame,
+) -> MatchOutcome {
+    debug_assert_eq!(goal_args.len(), head.len());
+    let mut pending: Vec<VarId> = Vec::new();
+    for (g, p) in goal_args.iter().zip(head.iter()) {
+        match match_one(g, p, store, frame, &mut pending) {
+            MatchStep::Ok => {}
+            MatchStep::Fail => return MatchOutcome::Fail,
+        }
+    }
+    if pending.is_empty() {
+        MatchOutcome::Match
+    } else {
+        MatchOutcome::Suspend(pending)
+    }
+}
+
+enum MatchStep {
+    Ok,
+    Fail,
+}
+
+fn match_one(
+    goal: &Term,
+    pat: &Pat,
+    store: &Store,
+    frame: &mut Frame,
+    pending: &mut Vec<VarId>,
+) -> MatchStep {
+    let g = store.deref(goal);
+    match pat {
+        Pat::Wild => MatchStep::Ok,
+        Pat::Local(i) => {
+            match frame.get(*i).cloned() {
+                None => {
+                    frame.set(*i, g);
+                    MatchStep::Ok
+                }
+                // Non-linear head (e.g. `p(X,X)`): both occurrences must be
+                // equal; unknown equality suspends.
+                Some(prev) => match term_eq(&prev, &g, store) {
+                    EqOutcome::Eq => MatchStep::Ok,
+                    EqOutcome::Neq => MatchStep::Fail,
+                    EqOutcome::Unknown(vs) => {
+                        for v in vs {
+                            push_unique(pending, v);
+                        }
+                        MatchStep::Ok
+                    }
+                },
+            }
+        }
+        _ => match &g {
+            // Goal side not yet instantiated: dataflow suspension.
+            Term::Var(v) => {
+                push_unique(pending, *v);
+                MatchStep::Ok
+            }
+            Term::Int(i) => match pat {
+                Pat::Int(j) if i == j => MatchStep::Ok,
+                Pat::Float(x) if *x == *i as f64 => MatchStep::Ok,
+                _ => MatchStep::Fail,
+            },
+            Term::Float(x) => match pat {
+                Pat::Float(y) if x == y => MatchStep::Ok,
+                Pat::Int(j) if *x == *j as f64 => MatchStep::Ok,
+                _ => MatchStep::Fail,
+            },
+            Term::Atom(a) => match pat {
+                Pat::Atom(b) if a == b => MatchStep::Ok,
+                _ => MatchStep::Fail,
+            },
+            Term::Str(s) => match pat {
+                Pat::Str(t) if s == t => MatchStep::Ok,
+                _ => MatchStep::Fail,
+            },
+            Term::Nil => match pat {
+                Pat::Nil => MatchStep::Ok,
+                _ => MatchStep::Fail,
+            },
+            Term::List(cell) => match pat {
+                Pat::List(pcell) => {
+                    match match_one(&cell.0, &pcell.0, store, frame, pending) {
+                        MatchStep::Fail => return MatchStep::Fail,
+                        MatchStep::Ok => {}
+                    }
+                    match_one(&cell.1, &pcell.1, store, frame, pending)
+                }
+                _ => MatchStep::Fail,
+            },
+            Term::Tuple(name, args) => match pat {
+                Pat::Tuple(pname, pargs) if name == pname && args.len() == pargs.len() => {
+                    for (ga, pa) in args.iter().zip(pargs.iter()) {
+                        match match_one(ga, pa, store, frame, pending) {
+                            MatchStep::Fail => return MatchStep::Fail,
+                            MatchStep::Ok => {}
+                        }
+                    }
+                    MatchStep::Ok
+                }
+                _ => MatchStep::Fail,
+            },
+            Term::Port(_) => MatchStep::Fail,
+        },
+    }
+}
+
+/// Three-valued structural equality under a store.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EqOutcome {
+    Eq,
+    Neq,
+    /// Equality cannot be decided until these variables are bound.
+    Unknown(Vec<VarId>),
+}
+
+/// Compare two terms structurally, dereferencing through the store.
+pub fn term_eq(a: &Term, b: &Term, store: &Store) -> EqOutcome {
+    let a = store.deref(a);
+    let b = store.deref(b);
+    match (&a, &b) {
+        (Term::Var(x), Term::Var(y)) => {
+            if x == y {
+                EqOutcome::Eq
+            } else {
+                EqOutcome::Unknown(vec![*x, *y])
+            }
+        }
+        (Term::Var(x), _) | (_, Term::Var(x)) => EqOutcome::Unknown(vec![*x]),
+        (Term::Int(x), Term::Int(y)) => bool_eq(x == y),
+        (Term::Float(x), Term::Float(y)) => bool_eq(x == y),
+        (Term::Int(x), Term::Float(y)) | (Term::Float(y), Term::Int(x)) => {
+            bool_eq(*x as f64 == *y)
+        }
+        (Term::Atom(x), Term::Atom(y)) => bool_eq(x == y),
+        (Term::Str(x), Term::Str(y)) => bool_eq(x == y),
+        (Term::Nil, Term::Nil) => EqOutcome::Eq,
+        (Term::Port(x), Term::Port(y)) => bool_eq(x == y),
+        (Term::List(ca), Term::List(cb)) => {
+            combine_eq(term_eq(&ca.0, &cb.0, store), || term_eq(&ca.1, &cb.1, store))
+        }
+        (Term::Tuple(fa, aa), Term::Tuple(fb, ab)) => {
+            if fa != fb || aa.len() != ab.len() {
+                return EqOutcome::Neq;
+            }
+            let mut pending = Vec::new();
+            for (x, y) in aa.iter().zip(ab.iter()) {
+                match term_eq(x, y, store) {
+                    EqOutcome::Eq => {}
+                    EqOutcome::Neq => return EqOutcome::Neq,
+                    EqOutcome::Unknown(vs) => {
+                        for v in vs {
+                            push_unique(&mut pending, v);
+                        }
+                    }
+                }
+            }
+            if pending.is_empty() {
+                EqOutcome::Eq
+            } else {
+                EqOutcome::Unknown(pending)
+            }
+        }
+        _ => EqOutcome::Neq,
+    }
+}
+
+fn bool_eq(b: bool) -> EqOutcome {
+    if b {
+        EqOutcome::Eq
+    } else {
+        EqOutcome::Neq
+    }
+}
+
+fn combine_eq(first: EqOutcome, rest: impl FnOnce() -> EqOutcome) -> EqOutcome {
+    match first {
+        EqOutcome::Neq => EqOutcome::Neq,
+        EqOutcome::Eq => rest(),
+        EqOutcome::Unknown(mut vs) => match rest() {
+            EqOutcome::Neq => EqOutcome::Neq,
+            EqOutcome::Eq => EqOutcome::Unknown(vs),
+            EqOutcome::Unknown(ws) => {
+                for w in ws {
+                    push_unique(&mut vs, w);
+                }
+                EqOutcome::Unknown(vs)
+            }
+        },
+    }
+}
+
+/// Evaluate one guard test (already instantiated against the rule frame).
+///
+/// Supported guards: arithmetic comparisons `< > =< >= == =\=`, type tests
+/// `integer/1 float/1 number/1 atom/1 string/1 list/1 tuple/1 data/1
+/// unknown/1`, and `true/0`. The machine handles `otherwise` itself.
+pub fn eval_guard(guard: &Term, store: &Store) -> StrandResult<GuardOutcome> {
+    let g = store.deref(guard);
+    let (name, arity) = match g.functor() {
+        Some(f) => (f.0.as_str().to_string(), f.1),
+        None => return Ok(GuardOutcome::False),
+    };
+    let args = g.goal_args();
+    match (name.as_str(), arity) {
+        ("true", 0) => Ok(GuardOutcome::True),
+        ("<", 2) | (">", 2) | ("=<", 2) | (">=", 2) => {
+            let l = eval_arith(&args[0], store)?;
+            let r = eval_arith(&args[1], store)?;
+            match (l, r) {
+                (Evaled::Num(a), Evaled::Num(b)) => {
+                    let (a, b) = (a.as_f64(), b.as_f64());
+                    let res = match name.as_str() {
+                        "<" => a < b,
+                        ">" => a > b,
+                        "=<" => a <= b,
+                        _ => a >= b,
+                    };
+                    Ok(if res { GuardOutcome::True } else { GuardOutcome::False })
+                }
+                (l, r) => {
+                    let mut vs = Vec::new();
+                    if let Evaled::Suspend(mut s) = l {
+                        vs.append(&mut s);
+                    }
+                    if let Evaled::Suspend(s) = r {
+                        for v in s {
+                            push_unique(&mut vs, v);
+                        }
+                    }
+                    Ok(GuardOutcome::Suspend(vs))
+                }
+            }
+        }
+        ("==", 2) | ("=\\=", 2) => {
+            let positive = name == "==";
+            match term_eq(&args[0], &args[1], store) {
+                EqOutcome::Eq => Ok(if positive { GuardOutcome::True } else { GuardOutcome::False }),
+                EqOutcome::Neq => Ok(if positive { GuardOutcome::False } else { GuardOutcome::True }),
+                EqOutcome::Unknown(vs) => Ok(GuardOutcome::Suspend(vs)),
+            }
+        }
+        ("integer", 1) | ("float", 1) | ("number", 1) | ("atom", 1) | ("string", 1)
+        | ("list", 1) | ("tuple", 1) | ("data", 1) => {
+            let t = store.deref(&args[0]);
+            if let Term::Var(v) = t {
+                // Type tests are dataflow: wait until the datum arrives.
+                return Ok(GuardOutcome::Suspend(vec![v]));
+            }
+            let ok = match name.as_str() {
+                "integer" => matches!(t, Term::Int(_)),
+                "float" => matches!(t, Term::Float(_)),
+                "number" => t.is_number(),
+                "atom" => matches!(t, Term::Atom(_)),
+                "string" => matches!(t, Term::Str(_)),
+                "list" => matches!(t, Term::List(_) | Term::Nil),
+                "tuple" => matches!(t, Term::Tuple(_, _)),
+                "data" => true,
+                _ => unreachable!(),
+            };
+            Ok(if ok { GuardOutcome::True } else { GuardOutcome::False })
+        }
+        // Nonmonotonic test used by some system code: true iff currently
+        // unbound. Succeeds/fails immediately, never suspends.
+        ("unknown", 1) => {
+            let t = store.deref(&args[0]);
+            Ok(if t.is_var() { GuardOutcome::True } else { GuardOutcome::False })
+        }
+        _ => Err(crate::error::StrandError::BadBuiltin {
+            builtin: format!("{name}/{arity}"),
+            detail: "unknown guard test".into(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::NodeId;
+
+    fn frame_for(head: &[Pat]) -> Frame {
+        let n = head.iter().map(Pat::local_count).max().unwrap_or(0);
+        Frame::with_locals(n)
+    }
+
+    #[test]
+    fn match_binds_locals() {
+        let store = Store::new();
+        let head = vec![
+            Pat::tuple("tree", vec![Pat::Local(0), Pat::Local(1), Pat::Local(2)]),
+            Pat::Local(3),
+        ];
+        let goal = vec![
+            Term::tuple("tree", vec![Term::atom("+"), Term::int(1), Term::int(2)]),
+            Term::Var(VarId(0)),
+        ];
+        let mut frame = frame_for(&head);
+        // Note: goal var exists conceptually; matching a Local against a var
+        // is fine — locals accept anything.
+        let mut store2 = store;
+        let _v = store2.new_var();
+        assert_eq!(
+            match_args(&goal, &head, &store2, &mut frame),
+            MatchOutcome::Match
+        );
+        assert_eq!(frame.get(0), Some(&Term::atom("+")));
+        assert_eq!(frame.get(3), Some(&Term::Var(VarId(0))));
+    }
+
+    #[test]
+    fn unbound_goal_var_against_structure_suspends() {
+        let mut store = Store::new();
+        let x = store.new_var();
+        let head = vec![Pat::cons(Pat::Local(0), Pat::Local(1))];
+        let mut frame = frame_for(&head);
+        assert_eq!(
+            match_args(&[Term::Var(x)], &head, &store, &mut frame),
+            MatchOutcome::Suspend(vec![x])
+        );
+        // Once bound, the same match succeeds.
+        store
+            .bind(x, Term::cons(Term::int(1), Term::Nil), 0, NodeId(0))
+            .unwrap();
+        let mut frame = frame_for(&head);
+        assert_eq!(
+            match_args(&[Term::Var(x)], &head, &store, &mut frame),
+            MatchOutcome::Match
+        );
+        assert_eq!(frame.get(0), Some(&Term::int(1)));
+    }
+
+    #[test]
+    fn constant_mismatch_fails() {
+        let store = Store::new();
+        let head = vec![Pat::Int(0)];
+        let mut frame = frame_for(&head);
+        assert_eq!(
+            match_args(&[Term::int(1)], &head, &store, &mut frame),
+            MatchOutcome::Fail
+        );
+    }
+
+    #[test]
+    fn nonlinear_head_requires_equality() {
+        let mut store = Store::new();
+        let head = vec![Pat::Local(0), Pat::Local(0)];
+        let mut frame = frame_for(&head);
+        assert_eq!(
+            match_args(&[Term::int(1), Term::int(1)], &head, &store, &mut frame),
+            MatchOutcome::Match
+        );
+        let mut frame = frame_for(&head);
+        assert_eq!(
+            match_args(&[Term::int(1), Term::int(2)], &head, &store, &mut frame),
+            MatchOutcome::Fail
+        );
+        let x = store.new_var();
+        let mut frame = frame_for(&head);
+        assert_eq!(
+            match_args(&[Term::int(1), Term::Var(x)], &head, &store, &mut frame),
+            MatchOutcome::Suspend(vec![x])
+        );
+    }
+
+    #[test]
+    fn deep_structure_matching() {
+        let store = Store::new();
+        let head = vec![Pat::list([Pat::Local(0), Pat::Int(2)])];
+        let goal = vec![Term::list([Term::int(1), Term::int(2)])];
+        let mut frame = frame_for(&head);
+        assert_eq!(match_args(&goal, &head, &store, &mut frame), MatchOutcome::Match);
+        assert_eq!(frame.get(0), Some(&Term::int(1)));
+
+        // Wrong length fails.
+        let goal = vec![Term::list([Term::int(1)])];
+        let mut frame = frame_for(&head);
+        assert_eq!(match_args(&goal, &head, &store, &mut frame), MatchOutcome::Fail);
+    }
+
+    #[test]
+    fn suspension_collects_all_needed_vars() {
+        let mut store = Store::new();
+        let x = store.new_var();
+        let y = store.new_var();
+        let head = vec![Pat::Int(1), Pat::Int(2)];
+        let mut frame = frame_for(&head);
+        assert_eq!(
+            match_args(&[Term::Var(x), Term::Var(y)], &head, &store, &mut frame),
+            MatchOutcome::Suspend(vec![x, y])
+        );
+    }
+
+    #[test]
+    fn guards_compare_arithmetic() {
+        let mut store = Store::new();
+        let g = Term::tuple(">", vec![Term::int(3), Term::int(0)]);
+        assert_eq!(eval_guard(&g, &store).unwrap(), GuardOutcome::True);
+        let g = Term::tuple("=<", vec![Term::int(3), Term::int(0)]);
+        assert_eq!(eval_guard(&g, &store).unwrap(), GuardOutcome::False);
+        let x = store.new_var();
+        let g = Term::tuple(">", vec![Term::Var(x), Term::int(0)]);
+        assert_eq!(
+            eval_guard(&g, &store).unwrap(),
+            GuardOutcome::Suspend(vec![x])
+        );
+    }
+
+    #[test]
+    fn type_test_guards() {
+        let mut store = Store::new();
+        assert_eq!(
+            eval_guard(&Term::tuple("integer", vec![Term::int(1)]), &store).unwrap(),
+            GuardOutcome::True
+        );
+        assert_eq!(
+            eval_guard(&Term::tuple("list", vec![Term::Nil]), &store).unwrap(),
+            GuardOutcome::True
+        );
+        assert_eq!(
+            eval_guard(&Term::tuple("tuple", vec![Term::int(1)]), &store).unwrap(),
+            GuardOutcome::False
+        );
+        let x = store.new_var();
+        assert_eq!(
+            eval_guard(&Term::tuple("data", vec![Term::Var(x)]), &store).unwrap(),
+            GuardOutcome::Suspend(vec![x])
+        );
+        assert_eq!(
+            eval_guard(&Term::tuple("unknown", vec![Term::Var(x)]), &store).unwrap(),
+            GuardOutcome::True
+        );
+    }
+
+    #[test]
+    fn structural_equality_guard() {
+        let store = Store::new();
+        let a = Term::tuple("f", vec![Term::int(1), Term::atom("x")]);
+        let b = Term::tuple("f", vec![Term::int(1), Term::atom("x")]);
+        assert_eq!(
+            eval_guard(&Term::tuple("==", vec![a.clone(), b.clone()]), &store).unwrap(),
+            GuardOutcome::True
+        );
+        assert_eq!(
+            eval_guard(&Term::tuple("=\\=", vec![a, b]), &store).unwrap(),
+            GuardOutcome::False
+        );
+    }
+
+    #[test]
+    fn unknown_guard_name_is_error() {
+        let store = Store::new();
+        assert!(eval_guard(&Term::tuple("frobnicate", vec![Term::int(1)]), &store).is_err());
+    }
+}

@@ -1,0 +1,128 @@
+//! Deterministic pseudo-random numbers for the simulated machine.
+//!
+//! The paper's random mapping motif relies on a `rand_num(N,R)` primitive.
+//! For reproducible experiments (load-balance tables in EXPERIMENTS.md must
+//! not change between runs) the machine uses SplitMix64 — a tiny, well-mixed
+//! generator whose whole state is one `u64` seed.
+
+/// SplitMix64 generator (Steele, Lea & Flood; public-domain algorithm).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a generator from a seed. Equal seeds give equal sequences.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    ///
+    /// Uses Lemire's multiply-shift rejection method for unbiased results.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "next_below bound must be positive");
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(bound as u128);
+            let low = m as u64;
+            if low >= bound || low >= low.wrapping_neg() % bound {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// The paper's `rand_num(N,R)`: random integer in `1..=n`.
+    pub fn rand_num(&mut self, n: u64) -> u64 {
+        1 + self.next_below(n)
+    }
+
+    /// Uniform float in `[0,1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Derive an independent child generator (for per-node streams).
+    pub fn split(&mut self) -> SplitMix64 {
+        SplitMix64::new(self.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn rand_num_in_paper_range() {
+        let mut r = SplitMix64::new(7);
+        for _ in 0..1000 {
+            let v = r.rand_num(4);
+            assert!((1..=4).contains(&v));
+        }
+    }
+
+    #[test]
+    fn next_below_is_roughly_uniform() {
+        let mut r = SplitMix64::new(123);
+        let mut counts = [0usize; 8];
+        let n = 80_000;
+        for _ in 0..n {
+            counts[r.next_below(8) as usize] += 1;
+        }
+        let expected = n / 8;
+        for c in counts {
+            // Within 5% of expectation — far looser than 6 sigma for this n.
+            assert!(
+                (c as f64 - expected as f64).abs() < expected as f64 * 0.05,
+                "bucket count {c} too far from {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = SplitMix64::new(9);
+        for _ in 0..1000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn split_streams_are_independent_of_parent_continuation() {
+        let mut parent = SplitMix64::new(5);
+        let mut child = parent.split();
+        let c1: Vec<u64> = (0..5).map(|_| child.next_u64()).collect();
+        // Re-derive the same child: same stream.
+        let mut parent2 = SplitMix64::new(5);
+        let mut child2 = parent2.split();
+        let c2: Vec<u64> = (0..5).map(|_| child2.next_u64()).collect();
+        assert_eq!(c1, c2);
+    }
+}

@@ -1,0 +1,335 @@
+//! The single-assignment variable store.
+//!
+//! Strand variables *"have the single assignment property: the value of a
+//! variable is initially undefined and, once provided, cannot be modified"*
+//! (paper §2.1). The store owns every variable created during a run, records
+//! *when* and *on which virtual node* each binding happened (the
+//! discrete-event simulation in `strand-machine` uses these timestamps to
+//! model communication latency), and keeps the suspension lists used for
+//! dataflow synchronization: a process that needs the value of an unbound
+//! variable registers a waiter token and is re-scheduled when the binding
+//! arrives.
+
+use crate::error::{StrandError, StrandResult};
+use crate::term::Term;
+
+/// Identifier of a store variable.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct VarId(pub u32);
+
+/// Virtual time in the discrete-event simulation (abstract "ticks").
+pub type Time = u64;
+
+/// Identifier of a virtual node (processor) in the simulated multicomputer.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Default)]
+pub struct NodeId(pub u32);
+
+/// A committed binding: the value plus provenance used for latency modeling.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Binding {
+    /// The bound value (may itself contain unbound variables).
+    pub value: Term,
+    /// Virtual time at which the binding was made.
+    pub time: Time,
+    /// Node whose process made the binding.
+    pub node: NodeId,
+}
+
+/// Opaque waiter token; the abstract machine uses process identifiers.
+pub type Waiter = u64;
+
+enum Slot {
+    Unbound { waiters: Vec<Waiter> },
+    Bound(Binding),
+}
+
+/// The single-assignment store.
+///
+/// ```
+/// use strand_core::{Store, Term, NodeId};
+/// let mut store = Store::new();
+/// let x = store.new_var();
+/// assert!(store.lookup(x).is_none());
+/// store.bind(x, Term::int(42), 7, NodeId(0)).unwrap();
+/// assert_eq!(store.lookup(x).unwrap().value, Term::int(42));
+/// // Second assignment is a run-time error (paper §2.1).
+/// assert!(store.bind(x, Term::int(43), 8, NodeId(0)).is_err());
+/// ```
+#[derive(Default)]
+pub struct Store {
+    slots: Vec<Slot>,
+    bind_count: u64,
+}
+
+impl Default for Slot {
+    fn default() -> Self {
+        Slot::Unbound { waiters: Vec::new() }
+    }
+}
+
+impl Store {
+    /// Create an empty store.
+    pub fn new() -> Store {
+        Store {
+            slots: Vec::new(),
+            bind_count: 0,
+        }
+    }
+
+    /// Number of variables ever created.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True if no variable has been created.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Total number of successful bindings performed.
+    pub fn bind_count(&self) -> u64 {
+        self.bind_count
+    }
+
+    /// Allocate a fresh, unbound variable.
+    pub fn new_var(&mut self) -> VarId {
+        let id = VarId(self.slots.len() as u32);
+        self.slots.push(Slot::default());
+        id
+    }
+
+    /// The binding of `v`, if any (no dereferencing of chained variables).
+    pub fn lookup(&self, v: VarId) -> Option<&Binding> {
+        match &self.slots[v.0 as usize] {
+            Slot::Bound(b) => Some(b),
+            Slot::Unbound { .. } => None,
+        }
+    }
+
+    /// Follow variable-to-variable bindings until reaching either a
+    /// non-variable term or an unbound variable occurrence.
+    ///
+    /// The result is "one level resolved": its top constructor is reliable,
+    /// but subterms may still contain bound variables.
+    pub fn deref(&self, t: &Term) -> Term {
+        let mut cur = t.clone();
+        loop {
+            match cur {
+                Term::Var(v) => match self.lookup(v) {
+                    Some(b) => match &b.value {
+                        Term::Var(next) => cur = Term::Var(*next),
+                        other => return other.clone(),
+                    },
+                    None => return Term::Var(v),
+                },
+                other => return other,
+            }
+        }
+    }
+
+    /// Like [`deref`](Store::deref), but also reports the binding time of
+    /// the *last* link followed — i.e. when the data became available.
+    pub fn deref_timed(&self, t: &Term) -> (Term, Option<(Time, NodeId)>) {
+        let mut cur = t.clone();
+        let mut stamp = None;
+        loop {
+            match cur {
+                Term::Var(v) => match self.lookup(v) {
+                    Some(b) => {
+                        stamp = Some((b.time, b.node));
+                        match &b.value {
+                            Term::Var(next) => cur = Term::Var(*next),
+                            other => return (other.clone(), stamp),
+                        }
+                    }
+                    None => return (Term::Var(v), stamp),
+                },
+                other => return (other, stamp),
+            }
+        }
+    }
+
+    /// Fully substitute all bound variables in `t`, producing a term whose
+    /// only variables are genuinely unbound. Used for snapshots, result
+    /// extraction and error messages.
+    pub fn resolve(&self, t: &Term) -> Term {
+        let top = self.deref(t);
+        match top {
+            Term::Tuple(name, args) => {
+                Term::tuple(name, args.iter().map(|a| self.resolve(a)).collect())
+            }
+            Term::List(cell) => Term::cons(self.resolve(&cell.0), self.resolve(&cell.1)),
+            other => other,
+        }
+    }
+
+    /// Bind `v` to `value` at virtual `time` on `node`.
+    ///
+    /// Returns the waiter tokens that were suspended on `v` so the machine
+    /// can re-schedule them. Binding a variable to itself (directly or
+    /// through a chain) is a no-op; binding an already-bound variable is the
+    /// run-time error the paper specifies.
+    pub fn bind(
+        &mut self,
+        v: VarId,
+        value: Term,
+        time: Time,
+        node: NodeId,
+    ) -> StrandResult<Vec<Waiter>> {
+        // Dereference the target first so alias chains stay acyclic: if the
+        // value leads back to `v`, the assignment is `X = X` and a no-op.
+        let value = self.deref(&value);
+        if let Term::Var(w) = value {
+            if w == v {
+                return Ok(Vec::new());
+            }
+        }
+        match &mut self.slots[v.0 as usize] {
+            Slot::Bound(existing) => Err(StrandError::DoubleAssign {
+                var: v,
+                existing: existing.value.clone(),
+                attempted: value,
+            }),
+            slot @ Slot::Unbound { .. } => {
+                let waiters = match std::mem::take(slot) {
+                    Slot::Unbound { waiters } => waiters,
+                    Slot::Bound(_) => unreachable!(),
+                };
+                *slot = Slot::Bound(Binding { value, time, node });
+                self.bind_count += 1;
+                Ok(waiters)
+            }
+        }
+    }
+
+    /// Register `waiter` to be woken when `v` is bound. If `v` is already
+    /// bound the call returns `false` and the waiter is *not* registered —
+    /// the caller should treat the data as available.
+    pub fn add_waiter(&mut self, v: VarId, waiter: Waiter) -> bool {
+        match &mut self.slots[v.0 as usize] {
+            Slot::Unbound { waiters } => {
+                if !waiters.contains(&waiter) {
+                    waiters.push(waiter);
+                }
+                true
+            }
+            Slot::Bound(_) => false,
+        }
+    }
+
+    /// Remove a waiter from a variable's suspension list (used when a
+    /// process suspended on several variables is woken by one of them).
+    pub fn remove_waiter(&mut self, v: VarId, waiter: Waiter) {
+        if let Slot::Unbound { waiters } = &mut self.slots[v.0 as usize] {
+            waiters.retain(|w| *w != waiter);
+        }
+    }
+
+    /// All variables that currently have at least one waiter (diagnostics).
+    pub fn vars_with_waiters(&self) -> Vec<VarId> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| match s {
+                Slot::Unbound { waiters } if !waiters.is_empty() => Some(VarId(i as u32)),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_assignment_enforced() {
+        let mut s = Store::new();
+        let x = s.new_var();
+        s.bind(x, Term::int(1), 0, NodeId(0)).unwrap();
+        let err = s.bind(x, Term::int(2), 1, NodeId(0)).unwrap_err();
+        match err {
+            StrandError::DoubleAssign { existing, attempted, .. } => {
+                assert_eq!(existing, Term::int(1));
+                assert_eq!(attempted, Term::int(2));
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn deref_follows_chains() {
+        let mut s = Store::new();
+        let x = s.new_var();
+        let y = s.new_var();
+        let z = s.new_var();
+        s.bind(x, Term::Var(y), 0, NodeId(0)).unwrap();
+        s.bind(y, Term::Var(z), 0, NodeId(0)).unwrap();
+        assert_eq!(s.deref(&Term::Var(x)), Term::Var(z));
+        s.bind(z, Term::atom("done"), 3, NodeId(1)).unwrap();
+        assert_eq!(s.deref(&Term::Var(x)), Term::atom("done"));
+        let (val, stamp) = s.deref_timed(&Term::Var(x));
+        assert_eq!(val, Term::atom("done"));
+        assert_eq!(stamp, Some((3, NodeId(1))));
+    }
+
+    #[test]
+    fn self_binding_is_noop_and_breaks_cycles() {
+        let mut s = Store::new();
+        let x = s.new_var();
+        let y = s.new_var();
+        s.bind(x, Term::Var(y), 0, NodeId(0)).unwrap();
+        // Y := X dereferences to Y := Y, which must be a no-op (not a cycle).
+        let waiters = s.bind(y, Term::Var(x), 0, NodeId(0)).unwrap();
+        assert!(waiters.is_empty());
+        assert!(s.lookup(y).is_none());
+        // The chain still dereferences without looping.
+        assert_eq!(s.deref(&Term::Var(x)), Term::Var(y));
+    }
+
+    #[test]
+    fn waiters_returned_on_bind() {
+        let mut s = Store::new();
+        let x = s.new_var();
+        assert!(s.add_waiter(x, 11));
+        assert!(s.add_waiter(x, 12));
+        assert!(s.add_waiter(x, 11)); // duplicate registration is idempotent
+        let w = s.bind(x, Term::int(5), 2, NodeId(0)).unwrap();
+        assert_eq!(w, vec![11, 12]);
+        // Registering on a bound var fails fast.
+        assert!(!s.add_waiter(x, 13));
+    }
+
+    #[test]
+    fn remove_waiter_unregisters() {
+        let mut s = Store::new();
+        let x = s.new_var();
+        s.add_waiter(x, 1);
+        s.add_waiter(x, 2);
+        s.remove_waiter(x, 1);
+        let w = s.bind(x, Term::int(0), 0, NodeId(0)).unwrap();
+        assert_eq!(w, vec![2]);
+    }
+
+    #[test]
+    fn resolve_substitutes_deeply() {
+        let mut s = Store::new();
+        let x = s.new_var();
+        let y = s.new_var();
+        s.bind(x, Term::int(3), 0, NodeId(0)).unwrap();
+        let t = Term::tuple("f", vec![Term::Var(x), Term::cons(Term::Var(y), Term::Nil)]);
+        let r = s.resolve(&t);
+        assert_eq!(r.to_string(), format!("f(3,[_{}])", y.0));
+    }
+
+    #[test]
+    fn binding_value_is_itself_dereferenced() {
+        let mut s = Store::new();
+        let x = s.new_var();
+        let y = s.new_var();
+        s.bind(y, Term::int(9), 0, NodeId(0)).unwrap();
+        s.bind(x, Term::Var(y), 1, NodeId(0)).unwrap();
+        // x was bound to deref(Y) = 9 directly.
+        assert_eq!(s.lookup(x).unwrap().value, Term::int(9));
+    }
+}

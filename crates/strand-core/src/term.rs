@@ -1,0 +1,309 @@
+//! Runtime terms.
+//!
+//! A [`Term`] is the value manipulated by Strand processes: an unbound
+//! variable, a number, an atom, a string, a tuple `f(T1,…,Tn)`, or a list
+//! built from cons cells `[H|T]` and `[]`. Terms are immutable and clone in
+//! O(1) (interior `Arc`s); the only mutable state in the system is the
+//! single-assignment [`Store`](crate::store::Store).
+//!
+//! Ports ([`Term::Port`]) are the one extension over the paper's surface
+//! language: a port is a handle to the *write end* of a stream, used by the
+//! abstract machine to implement the server library's merged input streams
+//! (Figure 3's `merge` network) and the `distribute/3` low-level primitive.
+
+use crate::atom::Atom;
+use crate::store::VarId;
+use std::fmt;
+use std::sync::Arc;
+
+/// A runtime term.
+#[derive(Clone, PartialEq)]
+pub enum Term {
+    /// An occurrence of a store variable (may be bound or unbound).
+    Var(VarId),
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// Symbolic constant, e.g. `sync`, `halt`.
+    Atom(Atom),
+    /// String literal, e.g. `"acgu"`.
+    Str(Arc<str>),
+    /// Tuple / compound term `f(T1,…,Tn)` with n ≥ 1.
+    Tuple(Atom, Arc<Vec<Term>>),
+    /// List cell `[H|T]`.
+    List(Arc<(Term, Term)>),
+    /// Empty list `[]`.
+    Nil,
+    /// Write end of a stream (machine-level; see module docs).
+    Port(u32),
+}
+
+impl Term {
+    /// Construct an atom term.
+    pub fn atom(name: impl Into<Atom>) -> Term {
+        Term::Atom(name.into())
+    }
+
+    /// Construct an integer term.
+    pub fn int(v: i64) -> Term {
+        Term::Int(v)
+    }
+
+    /// Construct a float term.
+    pub fn float(v: f64) -> Term {
+        Term::Float(v)
+    }
+
+    /// Construct a string term.
+    pub fn str(s: impl Into<Arc<str>>) -> Term {
+        Term::Str(s.into())
+    }
+
+    /// Construct a tuple `name(args…)`. With no arguments this degenerates
+    /// to an atom, matching the surface syntax where `f()` is not writable.
+    pub fn tuple(name: impl Into<Atom>, args: Vec<Term>) -> Term {
+        if args.is_empty() {
+            Term::Atom(name.into())
+        } else {
+            Term::Tuple(name.into(), Arc::new(args))
+        }
+    }
+
+    /// Construct a cons cell `[head|tail]`.
+    pub fn cons(head: Term, tail: Term) -> Term {
+        Term::List(Arc::new((head, tail)))
+    }
+
+    /// Construct a proper list from an iterator of elements.
+    pub fn list(items: impl IntoIterator<Item = Term>) -> Term {
+        let items: Vec<Term> = items.into_iter().collect();
+        items
+            .into_iter()
+            .rev()
+            .fold(Term::Nil, |tail, head| Term::cons(head, tail))
+    }
+
+    /// The functor name and arity of a callable goal, if this term is one.
+    ///
+    /// Atoms are goals of arity 0 (`halt`); tuples are goals of their own
+    /// arity. Other terms are not callable.
+    pub fn functor(&self) -> Option<(&Atom, usize)> {
+        match self {
+            Term::Atom(a) => Some((a, 0)),
+            Term::Tuple(f, args) => Some((f, args.len())),
+            _ => None,
+        }
+    }
+
+    /// Arguments of a goal term (empty for atoms).
+    pub fn goal_args(&self) -> &[Term] {
+        match self {
+            Term::Tuple(_, args) => args,
+            _ => &[],
+        }
+    }
+
+    /// Is this term an unbound-variable *occurrence*? (The store decides
+    /// whether the variable is actually still unbound.)
+    pub fn is_var(&self) -> bool {
+        matches!(self, Term::Var(_))
+    }
+
+    /// Is this a number (int or float)?
+    pub fn is_number(&self) -> bool {
+        matches!(self, Term::Int(_) | Term::Float(_))
+    }
+
+    /// Collect every variable occurring in the term, in first-occurrence
+    /// order, without duplicates.
+    pub fn vars(&self) -> Vec<VarId> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut Vec<VarId>) {
+        match self {
+            Term::Var(v) => {
+                if !out.contains(v) {
+                    out.push(*v);
+                }
+            }
+            Term::Tuple(_, args) => {
+                for a in args.iter() {
+                    a.collect_vars(out);
+                }
+            }
+            Term::List(cell) => {
+                cell.0.collect_vars(out);
+                cell.1.collect_vars(out);
+            }
+            _ => {}
+        }
+    }
+
+    /// True if the term contains no variables at all.
+    pub fn is_ground(&self) -> bool {
+        match self {
+            Term::Var(_) => false,
+            Term::Tuple(_, args) => args.iter().all(Term::is_ground),
+            Term::List(cell) => cell.0.is_ground() && cell.1.is_ground(),
+            _ => true,
+        }
+    }
+
+    /// Try to view the term as a proper list; `None` if it is improper or
+    /// ends in a variable.
+    pub fn as_proper_list(&self) -> Option<Vec<Term>> {
+        let mut items = Vec::new();
+        let mut cur = self.clone();
+        loop {
+            match cur {
+                Term::Nil => return Some(items),
+                Term::List(cell) => {
+                    items.push(cell.0.clone());
+                    cur = cell.1.clone();
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    /// Approximate heap size of the term in bytes, used by the memory
+    /// experiments (E2) to gauge queued intermediate values.
+    pub fn approx_bytes(&self) -> usize {
+        match self {
+            Term::Var(_) | Term::Int(_) | Term::Float(_) | Term::Nil | Term::Port(_) => 16,
+            Term::Atom(a) => 16 + a.as_str().len(),
+            Term::Str(s) => 16 + s.len(),
+            Term::Tuple(f, args) => {
+                16 + f.as_str().len() + args.iter().map(Term::approx_bytes).sum::<usize>()
+            }
+            Term::List(cell) => 16 + cell.0.approx_bytes() + cell.1.approx_bytes(),
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "_{}", v.0),
+            Term::Int(i) => write!(f, "{i}"),
+            Term::Float(x) => write!(f, "{x:?}"),
+            Term::Atom(a) => write!(f, "{a}"),
+            Term::Str(s) => write!(f, "{s:?}"),
+            Term::Port(p) => write!(f, "<port {p}>"),
+            Term::Tuple(name, args) => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Term::List(_) | Term::Nil => {
+                write!(f, "[")?;
+                let mut cur = self.clone();
+                let mut first = true;
+                loop {
+                    match cur {
+                        Term::Nil => break,
+                        Term::List(cell) => {
+                            if !first {
+                                write!(f, ",")?;
+                            }
+                            first = false;
+                            write!(f, "{}", cell.0)?;
+                            cur = cell.1.clone();
+                        }
+                        other => {
+                            write!(f, "|{other}")?;
+                            break;
+                        }
+                    }
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_display() {
+        let t = Term::tuple(
+            "tree",
+            vec![Term::atom("+"), Term::int(2), Term::cons(Term::int(1), Term::Nil)],
+        );
+        assert_eq!(t.to_string(), "tree(+,2,[1])");
+        assert_eq!(Term::list([Term::int(1), Term::int(2)]).to_string(), "[1,2]");
+        assert_eq!(Term::Nil.to_string(), "[]");
+        assert_eq!(
+            Term::cons(Term::int(1), Term::Var(VarId(7))).to_string(),
+            "[1|_7]"
+        );
+    }
+
+    #[test]
+    fn zero_arity_tuple_degenerates_to_atom() {
+        assert_eq!(Term::tuple("halt", vec![]), Term::atom("halt"));
+    }
+
+    #[test]
+    fn functor_extraction() {
+        let t = Term::tuple("reduce", vec![Term::int(1), Term::Var(VarId(0))]);
+        let (name, arity) = t.functor().unwrap();
+        assert_eq!(name.as_str(), "reduce");
+        assert_eq!(arity, 2);
+        assert_eq!(Term::atom("halt").functor().unwrap().1, 0);
+        assert!(Term::int(3).functor().is_none());
+    }
+
+    #[test]
+    fn vars_first_occurrence_no_dups() {
+        let t = Term::tuple(
+            "f",
+            vec![
+                Term::Var(VarId(2)),
+                Term::Var(VarId(1)),
+                Term::cons(Term::Var(VarId(2)), Term::Var(VarId(5))),
+            ],
+        );
+        assert_eq!(t.vars(), vec![VarId(2), VarId(1), VarId(5)]);
+    }
+
+    #[test]
+    fn groundness() {
+        assert!(Term::list([Term::int(1)]).is_ground());
+        assert!(!Term::cons(Term::int(1), Term::Var(VarId(0))).is_ground());
+    }
+
+    #[test]
+    fn proper_list_roundtrip() {
+        let items = vec![Term::int(1), Term::atom("a"), Term::str("x")];
+        let l = Term::list(items.clone());
+        assert_eq!(l.as_proper_list().unwrap(), items);
+        assert!(Term::cons(Term::int(1), Term::Var(VarId(0)))
+            .as_proper_list()
+            .is_none());
+    }
+
+    #[test]
+    fn approx_bytes_grows_with_structure() {
+        let small = Term::int(1);
+        let big = Term::list((0..100).map(Term::int));
+        assert!(big.approx_bytes() > small.approx_bytes() * 50);
+    }
+}

@@ -1,0 +1,412 @@
+//! Body builtins of the abstract machine.
+//!
+//! The paper's programs use a small set of low-level primitives; each is
+//! implemented here with dataflow semantics (suspend until inputs are
+//! available):
+//!
+//! | builtin | paper role |
+//! |---|---|
+//! | `X := E` | assignment — arithmetic when `E` is an arithmetic expression, data otherwise (§2.1, Figure 1) |
+//! | `X = T` | data assignment (explicit form) |
+//! | `length(T, N)` | arity of the server stream tuple `DT` / length of a list (Server transformation step 3) |
+//! | `rand_num(N, R)` | random integer in `(1,N)` (§3.3) — deterministic, seeded |
+//! | `distribute(I, DT, Msg)` | append `Msg` to the `I`-th server stream (Server transformation step 2) |
+//! | `make_tuple(N, T)`, `put_arg(I, T, V)` | construct the stream tuple (Figure 3) |
+//! | `open_port(P, S)`, `send_port(P, M)` | create/feed a merged stream — the machine-level realization of Figure 3's `merge` network |
+//! | `merge(Streams, Out)` | merge a list of streams into one (§3.2) |
+//! | `work(W)` | advance the node's clock by `W` ticks — models user computation cost in experiments |
+//! | `print(T)` | append the resolved term to the run's output log |
+//! | `current_node(N)` | the executing node's 1-based number |
+//! | `true` | no-op |
+//!
+//! Internal (not surface syntax): `'$spawn_at'(NodeExpr, Goal)` defers a
+//! placement whose node expression is not yet bound, and `'$forward'(S, P)`
+//! is the per-stream forwarder process of `merge/2`.
+
+use crate::machine::{Machine, PortState};
+use strand_core::arith::{is_arith_expr, Evaled};
+use strand_core::{eval_arith, StrandError, StrandResult, Term, VarId};
+
+/// Outcome of a builtin execution.
+pub(crate) enum BuiltinOutcome {
+    Done,
+    Suspend(Vec<VarId>),
+    Error(StrandError),
+}
+
+/// Is `name/arity` a machine builtin?
+pub(crate) fn is_builtin(name: &str, arity: usize) -> bool {
+    matches!(
+        (name, arity),
+        (":=", 2)
+            | ("=", 2)
+            | ("true", 0)
+            | ("length", 2)
+            | ("rand_num", 2)
+            | ("distribute", 3)
+            | ("distribute", 4)
+            | ("make_tuple", 2)
+            | ("put_arg", 3)
+            | ("open_port", 2)
+            | ("send_port", 2)
+            | ("merge", 2)
+            | ("work", 1)
+            | ("print", 1)
+            | ("current_node", 1)
+            | ("arg", 3)
+            | ("gauge", 2)
+            | ("$spawn_at", 2)
+            | ("$forward", 2)
+    )
+}
+
+fn bad(builtin: &str, detail: impl Into<String>) -> BuiltinOutcome {
+    BuiltinOutcome::Error(StrandError::BadBuiltin {
+        builtin: builtin.to_string(),
+        detail: detail.into(),
+    })
+}
+
+impl Machine {
+    /// Execute a builtin goal. Returns `Err` only for machine-fatal
+    /// conditions; program-level problems go through [`BuiltinOutcome`].
+    pub(crate) fn exec_builtin(&mut self, name: &str, goal: &Term) -> StrandResult<BuiltinOutcome> {
+        let args: Vec<Term> = goal.goal_args().to_vec();
+        Ok(match (name, args.as_slice()) {
+            ("true", []) => BuiltinOutcome::Done,
+
+            (":=", [lhs, rhs]) => self.assign(lhs, rhs, true)?,
+            ("=", [lhs, rhs]) => self.assign(lhs, rhs, false)?,
+
+            ("length", [t, n]) => match self.term_length(t) {
+                LengthOutcome::Len(len) => self.bind_or_err(n, Term::int(len))?,
+                LengthOutcome::Suspend(vs) => BuiltinOutcome::Suspend(vs),
+                LengthOutcome::Bad => bad("length/2", "argument is neither tuple nor list"),
+            },
+
+            ("rand_num", [n, r]) => match self.store.deref(n) {
+                Term::Var(v) => BuiltinOutcome::Suspend(vec![v]),
+                Term::Int(n) if n > 0 => {
+                    let val = self.rng.rand_num(n as u64) as i64;
+                    self.bind_or_err(r, Term::int(val))?
+                }
+                other => bad("rand_num/2", format!("bad bound {other}")),
+            },
+
+            ("distribute", [i, dt, msg]) | ("distribute", [i, dt, msg, _]) => {
+                let ack = args.get(3).cloned();
+                let tuple = self.store.deref(dt);
+                let idx = self.store.deref(i);
+                match (&idx, &tuple) {
+                    (Term::Var(v), _) => BuiltinOutcome::Suspend(vec![*v]),
+                    (_, Term::Var(v)) => BuiltinOutcome::Suspend(vec![*v]),
+                    (Term::Int(ix), Term::Tuple(_, slots)) => {
+                        if *ix < 1 || *ix as usize > slots.len() {
+                            bad(
+                                "distribute/3",
+                                format!("stream index {ix} out of 1..{}", slots.len()),
+                            )
+                        } else {
+                            match self.store.deref(&slots[*ix as usize - 1]) {
+                                Term::Port(p) => {
+                                    let sent = self.port_send(p, msg.clone())?;
+                                    match (sent, ack) {
+                                        (BuiltinOutcome::Done, Some(a)) => {
+                                            self.bind_or_err(&a, Term::atom("ok"))?
+                                        }
+                                        (outcome, _) => outcome,
+                                    }
+                                }
+                                Term::Var(v) => BuiltinOutcome::Suspend(vec![v]),
+                                other => {
+                                    bad("distribute/3", format!("slot {ix} is not a port: {other}"))
+                                }
+                            }
+                        }
+                    }
+                    _ => bad("distribute/3", "expects integer index and stream tuple"),
+                }
+            }
+
+            ("make_tuple", [n, t]) => match self.store.deref(n) {
+                Term::Var(v) => BuiltinOutcome::Suspend(vec![v]),
+                Term::Int(n) if n > 0 => {
+                    let slots: Vec<Term> =
+                        (0..n).map(|_| Term::Var(self.store.new_var())).collect();
+                    let tuple = Term::tuple("dt", slots);
+                    self.bind_or_err(t, tuple)?
+                }
+                other => bad("make_tuple/2", format!("bad arity {other}")),
+            },
+
+            ("put_arg", [i, t, v]) => {
+                let idx = self.store.deref(i);
+                let tuple = self.store.deref(t);
+                match (&idx, &tuple) {
+                    (Term::Var(w), _) => BuiltinOutcome::Suspend(vec![*w]),
+                    (_, Term::Var(w)) => BuiltinOutcome::Suspend(vec![*w]),
+                    (Term::Int(ix), Term::Tuple(_, slots)) => {
+                        if *ix < 1 || *ix as usize > slots.len() {
+                            bad("put_arg/3", format!("index {ix} out of range"))
+                        } else {
+                            match self.store.deref(&slots[*ix as usize - 1]) {
+                                Term::Var(slot) => {
+                                    let value = self.store.deref(v);
+                                    self.bind_now(slot, value)?;
+                                    BuiltinOutcome::Done
+                                }
+                                _ => bad("put_arg/3", format!("slot {ix} already filled")),
+                            }
+                        }
+                    }
+                    _ => bad("put_arg/3", "expects integer index and tuple"),
+                }
+            }
+
+            ("open_port", [p, s]) => match (self.store.deref(p), self.store.deref(s)) {
+                (Term::Var(pv), Term::Var(sv)) => {
+                    let id = self.ports.len() as u32;
+                    self.ports.push(PortState {
+                        owner: self.current_node,
+                        tail: sv,
+                    });
+                    self.bind_now(pv, Term::Port(id))?;
+                    BuiltinOutcome::Done
+                }
+                _ => bad("open_port/2", "both arguments must be unbound variables"),
+            },
+
+            ("send_port", [p, m]) => match self.store.deref(p) {
+                Term::Var(v) => BuiltinOutcome::Suspend(vec![v]),
+                Term::Port(id) => self.port_send(id, m.clone())?,
+                other => bad("send_port/2", format!("not a port: {other}")),
+            },
+
+            ("merge", [streams, out]) => match self.store.deref(streams) {
+                Term::Var(v) => BuiltinOutcome::Suspend(vec![v]),
+                list => {
+                    // Walk as far as the list is instantiated; suspend on an
+                    // unbound tail so late-added streams still join.
+                    let mut items = Vec::new();
+                    let mut cur = list;
+                    loop {
+                        match cur {
+                            Term::Nil => break,
+                            Term::List(cell) => {
+                                items.push(cell.0.clone());
+                                cur = self.store.deref(&cell.1);
+                            }
+                            Term::Var(v) => return Ok(BuiltinOutcome::Suspend(vec![v])),
+                            other => return Ok(bad("merge/2", format!("improper list: {other}"))),
+                        }
+                    }
+                    match self.store.deref(out) {
+                        Term::Var(ov) => {
+                            let id = self.ports.len() as u32;
+                            self.ports.push(PortState {
+                                owner: self.current_node,
+                                tail: ov,
+                            });
+                            let node = self.current_node;
+                            for s in items {
+                                self.spawn(Term::tuple("$forward", vec![s, Term::Port(id)]), node);
+                            }
+                            BuiltinOutcome::Done
+                        }
+                        _ => bad("merge/2", "output must be an unbound variable"),
+                    }
+                }
+            },
+
+            ("$forward", [s, p]) => match self.store.deref(s) {
+                Term::Var(v) => BuiltinOutcome::Suspend(vec![v]),
+                Term::Nil => BuiltinOutcome::Done,
+                Term::List(cell) => {
+                    let port = match self.store.deref(p) {
+                        Term::Port(id) => id,
+                        other => return Ok(bad("$forward/2", format!("not a port: {other}"))),
+                    };
+                    match self.port_send(port, cell.0.clone())? {
+                        BuiltinOutcome::Done => {
+                            let node = self.current_node;
+                            self.spawn(
+                                Term::tuple("$forward", vec![cell.1.clone(), p.clone()]),
+                                node,
+                            );
+                            BuiltinOutcome::Done
+                        }
+                        other => other,
+                    }
+                }
+                other => bad("$forward/2", format!("not a stream: {other}")),
+            },
+
+            ("$spawn_at", [place, g]) => match eval_arith(place, &self.store)? {
+                Evaled::Suspend(vs) => BuiltinOutcome::Suspend(vs),
+                Evaled::Num(n) => {
+                    let target = self.map_node(n.as_f64() as i64);
+                    let goal = self.store.deref(g);
+                    self.spawn(goal, target);
+                    BuiltinOutcome::Done
+                }
+            },
+
+            ("work", [w]) => match eval_arith(w, &self.store)? {
+                Evaled::Suspend(vs) => BuiltinOutcome::Suspend(vs),
+                Evaled::Num(n) => {
+                    let ticks = n.as_f64().max(0.0) as u64;
+                    self.extra_cost += ticks;
+                    BuiltinOutcome::Done
+                }
+            },
+
+            ("print", [t]) => {
+                let s = self.store.resolve(t).to_string();
+                self.output.push(s);
+                BuiltinOutcome::Done
+            }
+
+            ("current_node", [n]) => {
+                let id = self.current_node.0 as i64 + 1;
+                self.bind_or_err(n, Term::int(id))?
+            }
+
+            // `arg(I, T, V)`: V is the I-th argument of tuple T (1-based).
+            // The selected argument may itself be unbound — it is aliased,
+            // not waited for.
+            ("arg", [i, t, v]) => {
+                let idx = self.store.deref(i);
+                let tuple = self.store.deref(t);
+                match (&idx, &tuple) {
+                    (Term::Var(w), _) => BuiltinOutcome::Suspend(vec![*w]),
+                    (_, Term::Var(w)) => BuiltinOutcome::Suspend(vec![*w]),
+                    (Term::Int(ix), Term::Tuple(_, slots)) => {
+                        if *ix < 1 || *ix as usize > slots.len() {
+                            bad("arg/3", format!("index {ix} out of range"))
+                        } else {
+                            let value = slots[*ix as usize - 1].clone();
+                            self.bind_or_err(v, value)?
+                        }
+                    }
+                    _ => bad("arg/3", "expects integer index and tuple"),
+                }
+            }
+
+            // `gauge(Name, Value)`: record a named per-node gauge; the
+            // metrics keep the maximum seen (used by experiment E2 to track
+            // pending-value queue lengths in Tree-Reduce-2).
+            ("gauge", [name_t, value_t]) => {
+                let gname = self.store.deref(name_t);
+                match (gname.functor(), self.store.deref(value_t)) {
+                    (_, Term::Var(v)) => BuiltinOutcome::Suspend(vec![v]),
+                    (Some((a, 0)), Term::Int(val)) => {
+                        let node = self.current_node;
+                        self.metrics
+                            .record_gauge(a.as_str(), node, val.max(0) as u64);
+                        BuiltinOutcome::Done
+                    }
+                    _ => bad("gauge/2", "expects an atom name and integer value"),
+                }
+            }
+
+            _ => bad(name, "wrong arguments for builtin"),
+        })
+    }
+
+    /// `:=` / `=`. With `arith` set, an arithmetic-expression RHS is
+    /// evaluated before assignment.
+    fn assign(&mut self, lhs: &Term, rhs: &Term, arith: bool) -> StrandResult<BuiltinOutcome> {
+        let target = self.store.deref(lhs);
+        let Term::Var(v) = target else {
+            // Assigning to a bound variable is the paper's run-time error.
+            return Ok(BuiltinOutcome::Error(StrandError::DoubleAssign {
+                var: VarId(u32::MAX),
+                existing: self.store.resolve(lhs),
+                attempted: self.store.resolve(rhs),
+            }));
+        };
+        let value = self.store.deref(rhs);
+        if arith && is_arith_expr(&value) && !value.is_number() {
+            match eval_arith(&value, &self.store)? {
+                Evaled::Suspend(vs) => return Ok(BuiltinOutcome::Suspend(vs)),
+                Evaled::Num(n) => {
+                    self.bind_now(v, n.to_term())?;
+                    return Ok(BuiltinOutcome::Done);
+                }
+            }
+        }
+        self.bind_now(v, value)?;
+        Ok(BuiltinOutcome::Done)
+    }
+
+    fn bind_or_err(&mut self, dest: &Term, value: Term) -> StrandResult<BuiltinOutcome> {
+        match self.store.deref(dest) {
+            Term::Var(v) => {
+                self.bind_now(v, value)?;
+                Ok(BuiltinOutcome::Done)
+            }
+            other => Ok(BuiltinOutcome::Error(StrandError::DoubleAssign {
+                var: VarId(u32::MAX),
+                existing: other,
+                attempted: value,
+            })),
+        }
+    }
+
+    /// Append `msg` to a port's stream, with message accounting.
+    fn port_send(&mut self, port: u32, msg: Term) -> StrandResult<BuiltinOutcome> {
+        let msg = self.store.deref(&msg);
+        let PortState { owner, tail } = self.ports[port as usize].clone();
+        let new_tail = self.store.new_var();
+        let cell = Term::cons(msg.clone(), Term::Var(new_tail));
+        self.ports[port as usize].tail = new_tail;
+        if self.current_node != owner {
+            self.metrics.count_message(self.current_node, owner);
+            self.metrics.port_msgs_cross += 1;
+            if let Some((f, _)) = msg.functor() {
+                *self
+                    .metrics
+                    .port_msgs_by_functor
+                    .entry(f.as_str().to_string())
+                    .or_insert(0) += 1;
+            }
+        } else {
+            self.metrics.port_msgs_local += 1;
+        }
+        self.bind_now(tail, cell)?;
+        Ok(BuiltinOutcome::Done)
+    }
+}
+
+/// Outcome of `length/2` probing.
+enum LengthOutcome {
+    Len(i64),
+    Suspend(Vec<VarId>),
+    Bad,
+}
+
+impl Machine {
+    fn term_length(&self, t: &Term) -> LengthOutcome {
+        match self.store.deref(t) {
+            Term::Var(v) => LengthOutcome::Suspend(vec![v]),
+            Term::Tuple(_, args) => LengthOutcome::Len(args.len() as i64),
+            Term::Nil => LengthOutcome::Len(0),
+            list @ Term::List(_) => {
+                let mut n = 0i64;
+                let mut cur = list;
+                loop {
+                    match cur {
+                        Term::Nil => return LengthOutcome::Len(n),
+                        Term::List(cell) => {
+                            n += 1;
+                            cur = self.store.deref(&cell.1);
+                        }
+                        Term::Var(v) => return LengthOutcome::Suspend(vec![v]),
+                        _ => return LengthOutcome::Bad,
+                    }
+                }
+            }
+            _ => LengthOutcome::Bad,
+        }
+    }
+}

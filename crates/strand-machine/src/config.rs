@@ -1,0 +1,106 @@
+//! Machine configuration.
+
+use std::collections::HashSet;
+use strand_core::Time;
+
+/// Configuration of the simulated multicomputer.
+///
+/// The defaults model a modest message-passing machine of the paper's era in
+/// *relative* terms: one tick per reduction, ten ticks for an inter-node
+/// message. Absolute values are irrelevant — experiments report shapes and
+/// ratios (EXPERIMENTS.md).
+#[derive(Clone, Debug)]
+pub struct MachineConfig {
+    /// Number of virtual nodes (processors). Language-level node numbers are
+    /// 1-based: `Goal@1` … `Goal@N`.
+    pub nodes: u32,
+    /// Virtual time added to deliver anything across nodes (process spawns,
+    /// stream messages, binding notifications).
+    pub latency: Time,
+    /// Virtual time consumed by one reduction.
+    pub reduction_cost: Time,
+    /// Hard cap on total reductions; exceeding it is an error (guards
+    /// against runaway programs in tests).
+    pub max_reductions: u64,
+    /// Seed for the machine's deterministic `rand_num` primitive.
+    pub seed: u64,
+    /// Predicate names whose *live* (spawned but not yet reduced) process
+    /// counts are tracked per node — used by experiment E2 to measure
+    /// concurrent node evaluations.
+    pub tracked: HashSet<String>,
+    /// Stop at the first runtime error (default) instead of collecting.
+    pub fail_fast: bool,
+    /// Record a [`TraceEvent`](crate::trace::TraceEvent) per scheduler
+    /// action (off by default; tracing costs time and memory).
+    pub record_trace: bool,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            nodes: 1,
+            latency: 10,
+            reduction_cost: 1,
+            max_reductions: 50_000_000,
+            seed: 0xA4C0_11E5,
+            tracked: HashSet::new(),
+            fail_fast: true,
+            record_trace: false,
+        }
+    }
+}
+
+impl MachineConfig {
+    /// Config with `n` nodes and defaults otherwise.
+    pub fn with_nodes(n: u32) -> Self {
+        MachineConfig {
+            nodes: n.max(1),
+            ..Default::default()
+        }
+    }
+
+    /// Builder-style seed override.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style latency override.
+    pub fn latency(mut self, latency: Time) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Track live processes of the given predicate name (experiment E2).
+    pub fn track(mut self, name: &str) -> Self {
+        self.tracked.insert(name.to_string());
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = MachineConfig::default();
+        assert_eq!(c.nodes, 1);
+        assert!(c.reduction_cost > 0);
+        assert!(c.fail_fast);
+    }
+
+    #[test]
+    fn builder_chains() {
+        let c = MachineConfig::with_nodes(8).seed(7).latency(3).track("eval");
+        assert_eq!(c.nodes, 8);
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.latency, 3);
+        assert!(c.tracked.contains("eval"));
+    }
+
+    #[test]
+    fn zero_nodes_clamped_to_one() {
+        assert_eq!(MachineConfig::with_nodes(0).nodes, 1);
+    }
+}

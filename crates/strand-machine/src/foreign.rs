@@ -1,0 +1,238 @@
+//! Foreign (native Rust) procedures — the paper's multilingual approach.
+//!
+//! §2.1: *"we assume a multilingual approach to parallel programming, in
+//! which low level, computationally-intensive components of applications
+//! are implemented in low level languages. The high level language is used
+//! primarily to construct parallel programs from these sequential
+//! components."* In 1990 the sequential components were C; here they are
+//! Rust closures registered on the machine.
+//!
+//! A foreign procedure `name/n` is called like any goal
+//! `name(In1, …, In(n-1), Out)`: the machine waits (dataflow suspension)
+//! until every input argument is ground, invokes the closure with the
+//! resolved inputs, binds `Out` to the returned term, and advances the
+//! executing node's clock by the returned virtual cost — so an expensive
+//! native computation occupies its simulated processor for a realistic
+//! time.
+
+use crate::machine::Machine;
+use std::collections::HashMap;
+use strand_core::{StrandResult, Term, Time, VarId};
+
+/// A foreign implementation: resolved ground inputs → (result, virtual
+/// cost in ticks).
+pub type ForeignFn = Box<dyn FnMut(&[Term]) -> StrandResult<(Term, Time)> + Send>;
+
+/// Registry of foreign procedures, keyed by name/arity (arity counts the
+/// output argument).
+#[derive(Default)]
+pub struct ForeignRegistry {
+    fns: HashMap<(String, usize), ForeignFn>,
+}
+
+impl ForeignRegistry {
+    pub fn is_empty(&self) -> bool {
+        self.fns.is_empty()
+    }
+
+    pub fn contains(&self, name: &str, arity: usize) -> bool {
+        self.fns.contains_key(&(name.to_string(), arity))
+    }
+
+}
+
+impl Machine {
+    /// Register a foreign procedure `name/arity` (arity includes the final
+    /// output argument). Inputs arrive fully resolved and ground.
+    pub fn register_foreign(
+        &mut self,
+        name: &str,
+        arity: usize,
+        f: impl FnMut(&[Term]) -> StrandResult<(Term, Time)> + Send + 'static,
+    ) {
+        assert!(arity >= 1, "foreign procedures need an output argument");
+        self.foreign
+            .fns
+            .insert((name.to_string(), arity), Box::new(f));
+    }
+
+    /// Attempt to run a foreign call. Returns:
+    /// * `None` — not a foreign procedure;
+    /// * `Some(Ok(None))` — executed (or suspended internally);
+    /// * `Some(Err(e))` — machine-fatal error.
+    pub(crate) fn try_foreign(
+        &mut self,
+        name: &str,
+        goal: &Term,
+    ) -> Option<StrandResult<ForeignOutcome>> {
+        let args = goal.goal_args();
+        if !self.foreign.contains(name, args.len()) {
+            return None;
+        }
+        // Inputs are all but the last argument; they must be ground.
+        let n = args.len();
+        let mut inputs = Vec::with_capacity(n - 1);
+        let mut pending: Vec<VarId> = Vec::new();
+        for a in &args[..n - 1] {
+            let resolved = self.store.resolve(a);
+            for v in resolved.vars() {
+                if !pending.contains(&v) {
+                    pending.push(v);
+                }
+            }
+            inputs.push(resolved);
+        }
+        if !pending.is_empty() {
+            return Some(Ok(ForeignOutcome::Suspend(pending)));
+        }
+        let out_arg = args[n - 1].clone();
+        // Take the closure out to avoid aliasing self mutably twice.
+        let mut f = self
+            .foreign
+            .fns
+            .remove(&(name.to_string(), n))
+            .expect("checked contains");
+        let result = f(&inputs);
+        self.foreign.fns.insert((name.to_string(), n), f);
+        Some(match result {
+            Ok((value, cost)) => {
+                self.extra_cost += cost;
+                match self.store.deref(&out_arg) {
+                    Term::Var(v) => match self.bind_now(v, value) {
+                        Ok(()) => Ok(ForeignOutcome::Done),
+                        Err(e) => Err(e),
+                    },
+                    other => Ok(ForeignOutcome::Error(strand_core::StrandError::BadBuiltin {
+                        builtin: format!("{name}/{n}"),
+                        detail: format!("output argument already bound: {other}"),
+                    })),
+                }
+            }
+            Err(e) => Ok(ForeignOutcome::Error(e)),
+        })
+    }
+}
+
+/// Result of a foreign execution attempt.
+pub(crate) enum ForeignOutcome {
+    Done,
+    Suspend(Vec<VarId>),
+    Error(strand_core::StrandError),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ast_to_term, MachineConfig};
+    use std::collections::BTreeMap;
+    use strand_parse::{compile_program, parse_program, parse_term};
+
+    fn run_with(
+        src: &str,
+        goal: &str,
+        config: MachineConfig,
+        register: impl FnOnce(&mut Machine),
+    ) -> crate::GoalResult {
+        let program = parse_program(src).unwrap();
+        let compiled = compile_program(&program).unwrap();
+        let mut machine = Machine::new(compiled, config);
+        register(&mut machine);
+        let goal_ast = parse_term(goal).unwrap();
+        let mut vars = BTreeMap::new();
+        let g = ast_to_term(&goal_ast, &mut machine, &mut vars);
+        machine.start(g);
+        let report = machine.run().unwrap();
+        let bindings = vars
+            .into_iter()
+            .map(|(name, term)| (name.clone(), machine.store().resolve(&term)))
+            .collect();
+        crate::GoalResult { report, bindings }
+    }
+
+    #[test]
+    fn foreign_function_computes_and_charges_cost() {
+        let src = "go(X, Y) :- square(7, X), square(X, Y).";
+        let r = run_with(src, "go(X, Y)", MachineConfig::default(), |m| {
+            m.register_foreign("square", 2, |args| {
+                let v = match &args[0] {
+                    Term::Int(i) => *i,
+                    other => panic!("bad input {other}"),
+                };
+                Ok((Term::int(v * v), 500))
+            });
+        });
+        assert_eq!(r.bindings["X"].to_string(), "49");
+        assert_eq!(r.bindings["Y"].to_string(), "2401");
+        // Two calls at 500 ticks each.
+        assert!(r.report.metrics.makespan >= 1000);
+    }
+
+    #[test]
+    fn foreign_call_waits_for_ground_inputs() {
+        let src = r#"
+            go(Y) :- square(X, Y), later(X).
+            later(X) :- X := 6.
+        "#;
+        let r = run_with(src, "go(Y)", MachineConfig::default(), |m| {
+            m.register_foreign("square", 2, |args| match &args[0] {
+                Term::Int(i) => Ok((Term::int(i * i), 1)),
+                other => panic!("called with non-ground input {other}"),
+            });
+        });
+        assert_eq!(r.bindings["Y"].to_string(), "36");
+        assert!(r.report.metrics.suspensions >= 1);
+    }
+
+    #[test]
+    fn foreign_handles_structured_terms() {
+        let src = "go(N) :- sum_list([1, 2, 3, 4], N).";
+        let r = run_with(src, "go(N)", MachineConfig::default(), |m| {
+            m.register_foreign("sum_list", 2, |args| {
+                let items = args[0].as_proper_list().expect("ground list");
+                let mut sum = 0i64;
+                for t in items {
+                    if let Term::Int(i) = t {
+                        sum += i;
+                    }
+                }
+                Ok((Term::int(sum), items_cost(&args[0])))
+            });
+        });
+        assert_eq!(r.bindings["N"].to_string(), "10");
+
+        fn items_cost(t: &Term) -> u64 {
+            t.as_proper_list().map(|v| v.len() as u64).unwrap_or(1)
+        }
+    }
+
+    #[test]
+    fn user_rules_shadow_nothing_foreign_wins() {
+        // Foreign procedures take precedence over same-named rules, like
+        // builtins do; the program's `square/2` rule is never used.
+        let src = "square(_, Y) :- Y := wrong. go(Y) :- square(3, Y).";
+        let r = run_with(src, "go(Y)", MachineConfig::default(), |m| {
+            m.register_foreign("square", 2, |args| match &args[0] {
+                Term::Int(i) => Ok((Term::int(i * i), 1)),
+                _ => unreachable!(),
+            });
+        });
+        assert_eq!(r.bindings["Y"].to_string(), "9");
+    }
+
+    #[test]
+    fn foreign_error_reported() {
+        let src = "go(Y) :- fail_op(1, Y).";
+        let program = parse_program(src).unwrap();
+        let compiled = compile_program(&program).unwrap();
+        let mut machine = Machine::new(compiled, MachineConfig::default());
+        machine.register_foreign("fail_op", 2, |_| {
+            Err(strand_core::StrandError::Other("native failure".into()))
+        });
+        let goal_ast = parse_term("go(Y)").unwrap();
+        let mut vars = BTreeMap::new();
+        let g = ast_to_term(&goal_ast, &mut machine, &mut vars);
+        machine.start(g);
+        let err = machine.run().unwrap_err();
+        assert!(err.to_string().contains("native failure"));
+    }
+}

@@ -1,0 +1,572 @@
+//! The parallel abstract machine.
+//!
+//! *"The state of a computation is represented by a pool of lightweight
+//! processes. Execution proceeds by repeatedly selecting and attempting to
+//! reduce processes in this pool"* (§2.1). This machine keeps one pool per
+//! virtual node and drives them with a deterministic discrete-event
+//! scheduler: each node has a local clock; a reduction costs
+//! [`MachineConfig::reduction_cost`] ticks (plus explicit `work/1` costs);
+//! anything crossing nodes — a spawned process, a stream message, a binding
+//! that wakes a remote process — is delayed by [`MachineConfig::latency`].
+//!
+//! Determinism: the runnable node with the smallest next event time reduces
+//! first (ties broken by node index, then process id), and randomness comes
+//! only from the seeded `rand_num` primitive. Two runs with the same program,
+//! goal and config are identical, metric for metric.
+
+use crate::builtins::{is_builtin, BuiltinOutcome};
+use crate::config::MachineConfig;
+use crate::metrics::Metrics;
+use crate::trace::{goal_text, TraceEvent};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+use strand_core::{
+    match_args, GuardOutcome, MatchOutcome, NodeId, SplitMix64, Store, StrandError, StrandResult,
+    Term, Time, VarId,
+};
+use std::sync::Arc;
+use strand_parse::{CompiledProgram, CompiledRule};
+
+/// A queued (runnable) process.
+#[derive(Clone, Debug)]
+pub(crate) struct QItem {
+    pub ready_at: Time,
+    pub pid: u64,
+    pub goal: Term,
+    pub tracked: bool,
+}
+
+impl PartialEq for QItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.ready_at == other.ready_at && self.pid == other.pid
+    }
+}
+impl Eq for QItem {}
+impl PartialOrd for QItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest item is on top.
+        (other.ready_at, other.pid).cmp(&(self.ready_at, self.pid))
+    }
+}
+
+/// A process suspended on a set of variables.
+#[derive(Clone, Debug)]
+struct Susp {
+    goal: Term,
+    node: NodeId,
+    vars: Vec<VarId>,
+    tracked: bool,
+}
+
+struct Node {
+    clock: Time,
+    queue: BinaryHeap<QItem>,
+}
+
+/// The write end of a stream (see `strand-core::Term::Port`).
+#[derive(Clone, Debug)]
+pub(crate) struct PortState {
+    pub owner: NodeId,
+    pub tail: VarId,
+}
+
+/// Why the machine stopped.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RunStatus {
+    /// Every process reduced to completion.
+    Completed,
+    /// No runnable processes remain, but some are suspended forever — normal
+    /// for server networks that idle awaiting messages (quiescence), a bug
+    /// for programs expected to deliver results.
+    Quiescent { suspended: usize },
+}
+
+/// Result of a run: status, metrics and collected `print/1` output.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    pub status: RunStatus,
+    pub metrics: Metrics,
+    pub output: Vec<String>,
+    /// Runtime errors when `fail_fast` is off (empty otherwise).
+    pub errors: Vec<(Time, StrandError)>,
+    /// Goals still suspended at quiescence (resolved snapshots, capped).
+    pub suspended_goals: Vec<Term>,
+    /// Scheduler trace (empty unless `record_trace` was set).
+    pub trace: Vec<TraceEvent>,
+}
+
+/// The abstract machine.
+pub struct Machine {
+    pub(crate) program: Arc<CompiledProgram>,
+    pub(crate) config: MachineConfig,
+    pub(crate) store: Store,
+    nodes: Vec<Node>,
+    suspended: HashMap<u64, Susp>,
+    pub(crate) ports: Vec<PortState>,
+    pub(crate) rng: SplitMix64,
+    pub(crate) metrics: Metrics,
+    next_pid: u64,
+    pub(crate) output: Vec<String>,
+    errors: Vec<(Time, StrandError)>,
+    total_reductions: u64,
+    /// Node currently reducing (valid inside a reduction step).
+    pub(crate) current_node: NodeId,
+    /// Extra virtual-time cost accumulated by builtins (work/1) during the
+    /// current reduction.
+    pub(crate) extra_cost: Time,
+    /// Foreign (native Rust) procedures — the multilingual approach of
+    /// §2.1; see [`crate::foreign`].
+    pub(crate) foreign: crate::foreign::ForeignRegistry,
+    trace: Vec<TraceEvent>,
+}
+
+impl Machine {
+    /// Build a machine for a compiled program.
+    pub fn new(program: CompiledProgram, config: MachineConfig) -> Machine {
+        let n = config.nodes as usize;
+        Machine {
+            rng: SplitMix64::new(config.seed),
+            metrics: Metrics::new(n),
+            nodes: (0..n)
+                .map(|_| Node {
+                    clock: 0,
+                    queue: BinaryHeap::new(),
+                })
+                .collect(),
+            suspended: HashMap::new(),
+            ports: Vec::new(),
+            store: Store::new(),
+            next_pid: 0,
+            output: Vec::new(),
+            errors: Vec::new(),
+            total_reductions: 0,
+            current_node: NodeId(0),
+            extra_cost: 0,
+            foreign: crate::foreign::ForeignRegistry::default(),
+            trace: Vec::new(),
+            program: Arc::new(program),
+            config,
+        }
+    }
+
+    /// Access the store (for seeding goals and reading results).
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// Mutable store access (goal construction).
+    pub fn store_mut(&mut self) -> &mut Store {
+        &mut self.store
+    }
+
+    /// Map a 1-based language node number onto an internal node id.
+    pub(crate) fn map_node(&self, j: i64) -> NodeId {
+        let v = self.config.nodes as i64;
+        NodeId((((j - 1) % v + v) % v) as u32)
+    }
+
+    fn fresh_pid(&mut self) -> u64 {
+        self.next_pid += 1;
+        self.next_pid
+    }
+
+    /// Enqueue a goal on a node at the given ready time.
+    pub(crate) fn enqueue(&mut self, goal: Term, node: NodeId, ready_at: Time) {
+        let tracked = goal
+            .functor()
+            .is_some_and(|(name, _)| self.config.tracked.contains(name.as_str()));
+        if tracked {
+            self.metrics.track_spawn(node);
+        }
+        let pid = self.fresh_pid();
+        let nq = &mut self.nodes[node.0 as usize];
+        nq.queue.push(QItem {
+            ready_at,
+            pid,
+            goal,
+            tracked,
+        });
+        let qlen = nq.queue.len();
+        if qlen > self.metrics.peak_queue[node.0 as usize] {
+            self.metrics.peak_queue[node.0 as usize] = qlen;
+        }
+    }
+
+    /// Spawn a goal from the current reduction (applies cross-node latency
+    /// and message accounting).
+    pub(crate) fn spawn(&mut self, goal: Term, target: NodeId) {
+        let now = self.nodes[self.current_node.0 as usize].clock;
+        let ready_at = if target == self.current_node {
+            now
+        } else {
+            self.metrics.count_message(self.current_node, target);
+            self.metrics.remote_spawns += 1;
+            now + self.config.latency
+        };
+        if self.config.record_trace {
+            self.trace.push(TraceEvent::Spawn {
+                time: now,
+                from: self.current_node,
+                to: target,
+                goal: goal_text(&goal),
+            });
+        }
+        self.enqueue(goal, target, ready_at);
+    }
+
+    /// Bind a variable from the current reduction, waking any waiters.
+    pub(crate) fn bind_now(&mut self, v: VarId, value: Term) -> StrandResult<()> {
+        let now = self.nodes[self.current_node.0 as usize].clock;
+        let node = self.current_node;
+        let waiters = self.store.bind(v, value, now, node)?;
+        self.wake(waiters, now, node);
+        Ok(())
+    }
+
+    fn wake(&mut self, waiters: Vec<u64>, bind_time: Time, binder: NodeId) {
+        for pid in waiters {
+            let Some(susp) = self.suspended.remove(&pid) else {
+                continue; // already woken through another variable
+            };
+            for v in &susp.vars {
+                self.store.remove_waiter(*v, pid);
+            }
+            let arrival = if susp.node == binder {
+                bind_time
+            } else {
+                self.metrics.count_message(binder, susp.node);
+                bind_time + self.config.latency
+            };
+            if self.config.record_trace {
+                self.trace.push(TraceEvent::Wake {
+                    time: arrival,
+                    binder,
+                    node: susp.node,
+                    pid,
+                });
+            }
+            let nq = &mut self.nodes[susp.node.0 as usize];
+            nq.queue.push(QItem {
+                ready_at: arrival,
+                pid,
+                goal: susp.goal,
+                tracked: susp.tracked,
+            });
+            let qlen = nq.queue.len();
+            if qlen > self.metrics.peak_queue[susp.node.0 as usize] {
+                self.metrics.peak_queue[susp.node.0 as usize] = qlen;
+            }
+        }
+    }
+
+    fn suspend(&mut self, item: QItem, vars: Vec<VarId>) {
+        debug_assert!(!vars.is_empty(), "suspending on empty var set");
+        let pid = item.pid;
+        // Defensive: if any variable got bound in the meantime (cannot
+        // happen today — reduction is atomic — but cheap to guard), retry.
+        let mut registered = Vec::new();
+        for v in &vars {
+            if self.store.add_waiter(*v, pid) {
+                registered.push(*v);
+            } else {
+                for r in &registered {
+                    self.store.remove_waiter(*r, pid);
+                }
+                let node = self.current_node;
+                let now = self.nodes[node.0 as usize].clock;
+                self.enqueue(item.goal, node, now);
+                return;
+            }
+        }
+        self.metrics.suspensions += 1;
+        if self.config.record_trace {
+            self.trace.push(TraceEvent::Suspend {
+                time: self.nodes[self.current_node.0 as usize].clock,
+                node: self.current_node,
+                pid,
+                goal: goal_text(&item.goal),
+                vars: vars.len(),
+            });
+        }
+        self.suspended.insert(
+            pid,
+            Susp {
+                goal: item.goal,
+                node: self.current_node,
+                vars,
+                tracked: item.tracked,
+            },
+        );
+    }
+
+    fn record_error(&mut self, e: StrandError) -> StrandResult<()> {
+        if self.config.fail_fast {
+            return Err(e);
+        }
+        let now = self.nodes[self.current_node.0 as usize].clock;
+        self.errors.push((now, e));
+        Ok(())
+    }
+
+    /// Run until no process is runnable. The initial goal must have been
+    /// enqueued (see [`Machine::start`] or the `run_*` helpers in the crate
+    /// root).
+    pub fn run(&mut self) -> StrandResult<RunReport> {
+        loop {
+            // Pick the node with the earliest next event.
+            let mut best: Option<(Time, usize)> = None;
+            for (i, n) in self.nodes.iter().enumerate() {
+                if let Some(top) = n.queue.peek() {
+                    let key = n.clock.max(top.ready_at);
+                    if best.is_none_or(|(bk, _)| key < bk) {
+                        best = Some((key, i));
+                    }
+                }
+            }
+            let Some((start, i)) = best else { break };
+            let item = self.nodes[i].queue.pop().expect("peeked nonempty queue");
+            self.total_reductions += 1;
+            if self.total_reductions > self.config.max_reductions {
+                return Err(StrandError::BudgetExhausted {
+                    reductions: self.total_reductions,
+                });
+            }
+            self.current_node = NodeId(i as u32);
+            self.extra_cost = 0;
+            self.nodes[i].clock = start;
+            if self.config.record_trace {
+                self.trace.push(TraceEvent::Reduce {
+                    time: start,
+                    node: self.current_node,
+                    pid: item.pid,
+                    goal: goal_text(&item.goal),
+                });
+            }
+            let step_result = self.reduce(item);
+            let cost = self.config.reduction_cost + self.extra_cost;
+            self.nodes[i].clock = start + cost;
+            self.metrics.busy[i] += cost;
+            self.metrics.reductions[i] += 1;
+            step_result?;
+        }
+        self.metrics.makespan = self.nodes.iter().map(|n| n.clock).max().unwrap_or(0);
+        self.metrics.total_reductions = self.total_reductions;
+        let status = if self.suspended.is_empty() {
+            RunStatus::Completed
+        } else {
+            RunStatus::Quiescent {
+                suspended: self.suspended.len(),
+            }
+        };
+        let mut suspended_goals: Vec<Term> = self
+            .suspended
+            .values()
+            .take(16)
+            .map(|s| self.store.resolve(&s.goal))
+            .collect();
+        suspended_goals.sort_by_key(|t| t.to_string());
+        Ok(RunReport {
+            status,
+            metrics: self.metrics.clone(),
+            output: self.output.clone(),
+            errors: std::mem::take(&mut self.errors),
+            suspended_goals,
+            trace: std::mem::take(&mut self.trace),
+        })
+    }
+
+    /// Enqueue `goal` on node 1 at time 0.
+    pub fn start(&mut self, goal: Term) {
+        self.enqueue(goal, NodeId(0), 0);
+    }
+
+    /// One reduction step.
+    fn reduce(&mut self, item: QItem) -> StrandResult<()> {
+        let goal = self.store.deref(&item.goal);
+        if let Term::Var(v) = goal {
+            // A goal that is itself an unbound variable: a metacall waiting
+            // for its goal term. Suspend until provided.
+            self.suspend(item, vec![v]);
+            return Ok(());
+        }
+        let Some((name, arity)) = goal.functor().map(|(n, a)| (n.clone(), a)) else {
+            let resolved = self.store.resolve(&goal);
+            self.finish_tracked(&item);
+            return self.record_error(StrandError::NoMatchingRule { goal: resolved });
+        };
+
+        if !self.foreign.is_empty() {
+            if let Some(outcome) = self.try_foreign(name.as_str(), &goal) {
+                match outcome? {
+                    crate::foreign::ForeignOutcome::Done => {
+                        self.finish_tracked(&item);
+                    }
+                    crate::foreign::ForeignOutcome::Suspend(vars) => self.suspend(item, vars),
+                    crate::foreign::ForeignOutcome::Error(e) => {
+                        self.finish_tracked(&item);
+                        self.record_error(e)?;
+                    }
+                }
+                return Ok(());
+            }
+        }
+
+        if is_builtin(name.as_str(), arity) {
+            match self.exec_builtin(name.as_str(), &goal)? {
+                BuiltinOutcome::Done => {
+                    self.finish_tracked(&item);
+                }
+                BuiltinOutcome::Suspend(vars) => self.suspend(item, vars),
+                BuiltinOutcome::Error(e) => {
+                    self.finish_tracked(&item);
+                    self.record_error(e)?;
+                }
+            }
+            return Ok(());
+        }
+
+        let program = Arc::clone(&self.program);
+        let Some(proc) = program.get(name.as_str(), arity) else {
+            self.finish_tracked(&item);
+            return self.record_error(StrandError::UndefinedProcedure {
+                name: name.as_str().to_string(),
+                arity,
+            });
+        };
+
+        // Try rules in order; collect suspension variables from rules that
+        // might still become applicable.
+        let rules: &[CompiledRule] = &proc.rules;
+        let args: Vec<Term> = goal.goal_args().to_vec();
+        let mut pending: Vec<VarId> = Vec::new();
+        let mut otherwise: Option<&CompiledRule> = None;
+        for rule in rules {
+            if rule.otherwise {
+                if otherwise.is_none() {
+                    otherwise = Some(rule);
+                }
+                continue;
+            }
+            match self.try_rule(rule, &args)? {
+                TryOutcome::Commit(frame) => {
+                    self.commit(rule, frame)?;
+                    self.finish_tracked(&item);
+                    return Ok(());
+                }
+                TryOutcome::Fail => {}
+                TryOutcome::Suspend(vs) => {
+                    for v in vs {
+                        if !pending.contains(&v) {
+                            pending.push(v);
+                        }
+                    }
+                }
+            }
+        }
+        if pending.is_empty() {
+            // All non-otherwise rules failed definitively.
+            if let Some(rule) = otherwise {
+                match self.try_rule(rule, &args)? {
+                    TryOutcome::Commit(frame) => {
+                        self.commit(rule, frame)?;
+                        self.finish_tracked(&item);
+                        return Ok(());
+                    }
+                    TryOutcome::Suspend(vs) => {
+                        self.suspend(item, vs);
+                        return Ok(());
+                    }
+                    TryOutcome::Fail => {}
+                }
+            }
+            let resolved = self.store.resolve(&goal);
+            self.finish_tracked(&item);
+            self.record_error(StrandError::NoMatchingRule { goal: resolved })
+        } else {
+            self.suspend(item, pending);
+            Ok(())
+        }
+    }
+
+    fn finish_tracked(&mut self, item: &QItem) {
+        if item.tracked {
+            self.metrics.track_done(self.current_node);
+        }
+    }
+
+    fn try_rule(&mut self, rule: &CompiledRule, args: &[Term]) -> StrandResult<TryOutcome> {
+        let mut frame = strand_core::Frame::with_locals(rule.n_locals);
+        match match_args(args, &rule.head, &self.store, &mut frame) {
+            MatchOutcome::Fail => return Ok(TryOutcome::Fail),
+            MatchOutcome::Suspend(vs) => return Ok(TryOutcome::Suspend(vs)),
+            MatchOutcome::Match => {}
+        }
+        let mut pending = Vec::new();
+        for guard in &rule.guards {
+            // A guard mentioning a variable not bound by the head can never
+            // be decided; treat as failure (and surface a programmer error).
+            let Some(gterm) = guard.instantiate_ro(&frame) else {
+                return Ok(TryOutcome::Fail);
+            };
+            match strand_core::eval_guard(&gterm, &self.store)? {
+                GuardOutcome::True => {}
+                GuardOutcome::False => return Ok(TryOutcome::Fail),
+                GuardOutcome::Suspend(vs) => {
+                    for v in vs {
+                        if !pending.contains(&v) {
+                            pending.push(v);
+                        }
+                    }
+                }
+            }
+        }
+        if pending.is_empty() {
+            Ok(TryOutcome::Commit(frame))
+        } else {
+            Ok(TryOutcome::Suspend(pending))
+        }
+    }
+
+    fn commit(&mut self, rule: &CompiledRule, mut frame: strand_core::Frame) -> StrandResult<()> {
+        for call in &rule.body {
+            let goal = call.goal.instantiate(&mut frame, &mut self.store);
+            match &call.placement {
+                None => {
+                    let node = self.current_node;
+                    self.spawn(goal, node);
+                }
+                Some(place) => {
+                    let place_term = place.instantiate(&mut frame, &mut self.store);
+                    match strand_core::eval_arith(&place_term, &self.store) {
+                        Ok(strand_core::arith::Evaled::Num(n)) => {
+                            let target = self.map_node(n.as_f64() as i64);
+                            self.spawn(goal, target);
+                        }
+                        Ok(strand_core::arith::Evaled::Suspend(_)) => {
+                            // Placement not yet known: defer via the internal
+                            // `'$spawn_at'` builtin, which suspends.
+                            let node = self.current_node;
+                            self.spawn(
+                                Term::tuple("$spawn_at", vec![place_term, goal]),
+                                node,
+                            );
+                        }
+                        Err(e) => self.record_error(e)?,
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+enum TryOutcome {
+    Commit(strand_core::Frame),
+    Fail,
+    Suspend(Vec<VarId>),
+}

@@ -1,0 +1,181 @@
+//! Execution metrics for the simulated multicomputer.
+//!
+//! Every quantity the paper's qualitative claims refer to is measured here:
+//! per-node busy time (load balance, E1), live tracked processes (concurrent
+//! node evaluations, E2), the inter-node message matrix with per-functor
+//! counts (communication bound, E3), and the virtual-time makespan (speedup,
+//! E4).
+
+use std::collections::HashMap;
+use strand_core::{NodeId, Time};
+
+/// Metrics collected during a run.
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    /// Reductions performed by each node.
+    pub reductions: Vec<u64>,
+    /// Virtual time each node spent reducing (excludes idle waiting).
+    pub busy: Vec<Time>,
+    /// Total process suspensions (dataflow waits).
+    pub suspensions: u64,
+    /// `messages[from][to]`: cross-node deliveries (spawns + stream sends +
+    /// binding notifications).
+    pub messages: Vec<Vec<u64>>,
+    /// Cross-node stream (port) messages keyed by the message's principal
+    /// functor — experiment E3 counts `value` messages here.
+    pub port_msgs_by_functor: HashMap<String, u64>,
+    /// Total cross-node port messages.
+    pub port_msgs_cross: u64,
+    /// Total local (same-node) port messages.
+    pub port_msgs_local: u64,
+    /// Remote process spawns (`Goal@J` with J on another node).
+    pub remote_spawns: u64,
+    /// Per-node peak of live tracked processes (see
+    /// [`MachineConfig::tracked`](crate::MachineConfig)).
+    pub peak_tracked: Vec<u64>,
+    /// Per-node current live tracked processes (internal gauge).
+    pub live_tracked: Vec<u64>,
+    /// Per-node peak run-queue length.
+    pub peak_queue: Vec<usize>,
+    /// Final makespan: the largest node clock when the machine stopped.
+    pub makespan: Time,
+    /// Total reductions across nodes.
+    pub total_reductions: u64,
+    /// Named per-node gauges (maximum value seen); fed by the `gauge/2`
+    /// builtin. Experiment E2 uses a `pending` gauge for Tree-Reduce-2's
+    /// queued-value memory.
+    pub gauges: HashMap<String, Vec<u64>>,
+}
+
+impl Metrics {
+    pub(crate) fn new(nodes: usize) -> Metrics {
+        Metrics {
+            reductions: vec![0; nodes],
+            busy: vec![0; nodes],
+            messages: vec![vec![0; nodes]; nodes],
+            peak_tracked: vec![0; nodes],
+            live_tracked: vec![0; nodes],
+            peak_queue: vec![0; nodes],
+            ..Default::default()
+        }
+    }
+
+    pub(crate) fn count_message(&mut self, from: NodeId, to: NodeId) {
+        if from != to {
+            self.messages[from.0 as usize][to.0 as usize] += 1;
+        }
+    }
+
+    pub(crate) fn track_spawn(&mut self, node: NodeId) {
+        let n = node.0 as usize;
+        self.live_tracked[n] += 1;
+        if self.live_tracked[n] > self.peak_tracked[n] {
+            self.peak_tracked[n] = self.live_tracked[n];
+        }
+    }
+
+    pub(crate) fn track_done(&mut self, node: NodeId) {
+        let n = node.0 as usize;
+        debug_assert!(self.live_tracked[n] > 0, "tracked gauge underflow");
+        self.live_tracked[n] = self.live_tracked[n].saturating_sub(1);
+    }
+
+    pub(crate) fn record_gauge(&mut self, name: &str, node: NodeId, value: u64) {
+        let nodes = self.reductions.len();
+        let g = self
+            .gauges
+            .entry(name.to_string())
+            .or_insert_with(|| vec![0; nodes]);
+        let slot = &mut g[node.0 as usize];
+        if value > *slot {
+            *slot = value;
+        }
+    }
+
+    /// Largest value a named gauge reached on any node (0 if never set).
+    pub fn max_gauge(&self, name: &str) -> u64 {
+        self.gauges
+            .get(name)
+            .and_then(|g| g.iter().copied().max())
+            .unwrap_or(0)
+    }
+
+    /// Total cross-node messages of any kind.
+    pub fn total_messages(&self) -> u64 {
+        self.messages.iter().flatten().sum()
+    }
+
+    /// Load imbalance: max node busy time divided by mean busy time.
+    /// 1.0 is perfect balance; returns `None` when nothing ran.
+    pub fn imbalance(&self) -> Option<f64> {
+        let max = *self.busy.iter().max()? as f64;
+        let sum: u64 = self.busy.iter().sum();
+        if sum == 0 {
+            return None;
+        }
+        let mean = sum as f64 / self.busy.len() as f64;
+        Some(max / mean)
+    }
+
+    /// Busy fraction: total busy time over (nodes × makespan). 1.0 means
+    /// every node computed for the whole run.
+    pub fn utilization(&self) -> f64 {
+        if self.makespan == 0 {
+            return 0.0;
+        }
+        let sum: u64 = self.busy.iter().sum();
+        sum as f64 / (self.makespan as f64 * self.busy.len() as f64)
+    }
+
+    /// Largest per-node peak of live tracked processes.
+    pub fn max_peak_tracked(&self) -> u64 {
+        self.peak_tracked.iter().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn imbalance_computes_max_over_mean() {
+        let mut m = Metrics::new(4);
+        m.busy = vec![10, 10, 10, 30];
+        let imb = m.imbalance().unwrap();
+        assert!((imb - 30.0 / 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn imbalance_none_when_idle() {
+        let m = Metrics::new(4);
+        assert!(m.imbalance().is_none());
+    }
+
+    #[test]
+    fn message_matrix_ignores_self_sends() {
+        let mut m = Metrics::new(2);
+        m.count_message(NodeId(0), NodeId(1));
+        m.count_message(NodeId(1), NodeId(1));
+        assert_eq!(m.total_messages(), 1);
+    }
+
+    #[test]
+    fn tracked_gauge_peaks() {
+        let mut m = Metrics::new(1);
+        m.track_spawn(NodeId(0));
+        m.track_spawn(NodeId(0));
+        m.track_done(NodeId(0));
+        m.track_spawn(NodeId(0));
+        assert_eq!(m.peak_tracked[0], 2);
+        assert_eq!(m.live_tracked[0], 2);
+        assert_eq!(m.max_peak_tracked(), 2);
+    }
+
+    #[test]
+    fn utilization_bounds() {
+        let mut m = Metrics::new(2);
+        m.busy = vec![50, 100];
+        m.makespan = 100;
+        assert!((m.utilization() - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,209 @@
+//! # transform
+//!
+//! The source-to-source transformation framework of the paper (§2.2):
+//! *"Programs are represented as structured terms and transformations as
+//! programs that manipulate these terms."* Here programs are
+//! [`strand_parse::Program`] values and transformations are Rust values
+//! implementing [`Transformation`]; composition is literally function
+//! composition ([`Transformation::then`]), which is what makes motif
+//! composition (`M = M2 ∘ M1`) work.
+//!
+//! The crate also provides the analyses and rewrites that real motif
+//! transformations are made of:
+//!
+//! * [`callgraph`] — who calls whom, and which procedures can reach a given
+//!   primitive (needed by the Server transformation's step 1: thread the
+//!   stream tuple `DT` through *"the process definitions of these
+//!   processes' ancestors in the call graph"*);
+//! * [`rewrite`] — argument threading, call replacement, fresh-variable
+//!   generation, and rule synthesis.
+
+pub mod callgraph;
+pub mod rewrite;
+
+use std::fmt;
+use std::sync::Arc;
+use strand_parse::Program;
+
+/// Error raised by a transformation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TransformError {
+    pub transformation: String,
+    pub message: String,
+}
+
+impl TransformError {
+    pub fn new(transformation: impl Into<String>, message: impl Into<String>) -> Self {
+        TransformError {
+            transformation: transformation.into(),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TransformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "transformation {}: {}", self.transformation, self.message)
+    }
+}
+
+impl std::error::Error for TransformError {}
+
+/// A source-to-source transformation over motif-language programs.
+pub trait Transformation: Send + Sync {
+    /// Human-readable name (used in errors and the experiment inventory).
+    fn name(&self) -> &str;
+
+    /// Apply the transformation, producing a new program.
+    fn apply(&self, program: &Program) -> Result<Program, TransformError>;
+
+    /// `self.then(t)` applies `self` first, then `t` — i.e. `t ∘ self`.
+    fn then(self, t: impl Transformation + 'static) -> Composed
+    where
+        Self: Sized + 'static,
+    {
+        Composed {
+            name: format!("{} ; {}", self.name(), t.name()),
+            stages: vec![Arc::new(self), Arc::new(t)],
+        }
+    }
+}
+
+/// The identity transformation (used by library-only motifs such as the
+/// paper's `Tree1`, §3.4).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Identity;
+
+impl Transformation for Identity {
+    fn name(&self) -> &str {
+        "identity"
+    }
+
+    fn apply(&self, program: &Program) -> Result<Program, TransformError> {
+        Ok(program.clone())
+    }
+}
+
+/// A transformation built from a plain function.
+pub struct FnTransform {
+    name: String,
+    f: Box<dyn Fn(&Program) -> Result<Program, TransformError> + Send + Sync>,
+}
+
+impl FnTransform {
+    pub fn new(
+        name: impl Into<String>,
+        f: impl Fn(&Program) -> Result<Program, TransformError> + Send + Sync + 'static,
+    ) -> Self {
+        FnTransform {
+            name: name.into(),
+            f: Box::new(f),
+        }
+    }
+}
+
+impl Transformation for FnTransform {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn apply(&self, program: &Program) -> Result<Program, TransformError> {
+        (self.f)(program)
+    }
+}
+
+/// A pipeline of transformations applied left to right.
+#[derive(Clone)]
+pub struct Composed {
+    name: String,
+    stages: Vec<Arc<dyn Transformation>>,
+}
+
+impl Composed {
+    /// Empty pipeline (identity).
+    pub fn empty() -> Composed {
+        Composed {
+            name: "identity".into(),
+            stages: Vec::new(),
+        }
+    }
+
+    /// Append another stage.
+    pub fn push(mut self, t: impl Transformation + 'static) -> Composed {
+        self.name = if self.stages.is_empty() {
+            t.name().to_string()
+        } else {
+            format!("{} ; {}", self.name, t.name())
+        };
+        self.stages.push(Arc::new(t));
+        self
+    }
+}
+
+impl Transformation for Composed {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn apply(&self, program: &Program) -> Result<Program, TransformError> {
+        let mut p = program.clone();
+        for stage in &self.stages {
+            p = stage.apply(&p)?;
+        }
+        Ok(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strand_parse::parse_program;
+
+    fn rename_to(name: &'static str) -> FnTransform {
+        FnTransform::new(format!("rename-{name}"), move |p| {
+            let mut out = Program::new();
+            for rule in p.rules() {
+                let mut r = rule.clone();
+                if let strand_parse::Ast::Tuple(n, _) = &mut r.head {
+                    *n = name.to_string();
+                }
+                out.push_rule(r);
+            }
+            Ok(out)
+        })
+    }
+
+    #[test]
+    fn identity_round_trips() {
+        let p = parse_program("f(X) :- g(X). g(1).").unwrap();
+        assert_eq!(Identity.apply(&p).unwrap(), p);
+    }
+
+    #[test]
+    fn composition_applies_in_order() {
+        let p = parse_program("f(X).").unwrap();
+        let t = rename_to("a").then(rename_to("b"));
+        let out = t.apply(&p).unwrap();
+        assert!(out.get("b", 1).is_some());
+        assert!(out.get("a", 1).is_none());
+        assert_eq!(t.name(), "rename-a ; rename-b");
+    }
+
+    #[test]
+    fn composed_pipeline_builder() {
+        let p = parse_program("f(X).").unwrap();
+        let t = Composed::empty().push(rename_to("a")).push(rename_to("c"));
+        let out = t.apply(&p).unwrap();
+        assert!(out.get("c", 1).is_some());
+    }
+
+    #[test]
+    fn errors_carry_transformation_name() {
+        let t = FnTransform::new("failing", |_| {
+            Err(TransformError::new("failing", "nope"))
+        });
+        let p = Program::new();
+        let e = t.apply(&p).unwrap_err();
+        assert_eq!(e.to_string(), "transformation failing: nope");
+    }
+}

@@ -1,0 +1,536 @@
+//! Rewrite utilities: fresh variables, call replacement, argument
+//! threading, circuit threading and rule synthesis.
+//!
+//! These are the building blocks the paper's transformations decompose
+//! into: the Server transformation is "thread an argument + rewrite
+//! primitive calls" (§3.2), the Rand transformation is "replace annotated
+//! calls + synthesize dispatch rules" (§3.3), and the termination-detection
+//! extension is "thread a short circuit" (§3.3, last paragraph).
+
+use crate::callgraph::Key;
+use std::collections::BTreeSet;
+use strand_parse::{Ast, Call, Program, Rule};
+
+/// Pick a variable name based on `base` that does not collide with `taken`.
+pub fn fresh_var(taken: &BTreeSet<String>, base: &str) -> String {
+    if !taken.contains(base) {
+        return base.to_string();
+    }
+    for i in 1.. {
+        let cand = format!("{base}{i}");
+        if !taken.contains(&cand) {
+            return cand;
+        }
+    }
+    unreachable!()
+}
+
+/// All variable names appearing anywhere in a rule.
+pub fn rule_vars(rule: &Rule) -> BTreeSet<String> {
+    let mut out: BTreeSet<String> = rule.head.vars().into_iter().collect();
+    for g in &rule.guards {
+        out.extend(g.vars());
+    }
+    for c in &rule.body {
+        out.extend(c.goal.vars());
+        if let Some(strand_parse::Annotation::Node(n)) = &c.annotation {
+            out.extend(n.vars());
+        }
+    }
+    out
+}
+
+/// A supply of fresh variable names scoped to one rule.
+pub struct FreshVars {
+    taken: BTreeSet<String>,
+}
+
+impl FreshVars {
+    /// Seeded with a rule's existing variables.
+    pub fn for_rule(rule: &Rule) -> FreshVars {
+        FreshVars {
+            taken: rule_vars(rule),
+        }
+    }
+
+    /// Allocate a fresh name built from `base`.
+    pub fn fresh(&mut self, base: &str) -> String {
+        let name = fresh_var(&self.taken, base);
+        self.taken.insert(name.clone());
+        name
+    }
+}
+
+/// Replace body calls throughout a program. For each call, `f` may return a
+/// replacement sequence (`Some`) or leave it unchanged (`None`). `f` gets a
+/// per-rule [`FreshVars`] supply for introducing new variables.
+pub fn replace_calls(
+    program: &Program,
+    f: &dyn Fn(&Call, &mut FreshVars) -> Option<Vec<Call>>,
+) -> Program {
+    let mut out = Program::new();
+    for rule in program.rules() {
+        let mut fresh = FreshVars::for_rule(rule);
+        let mut body = Vec::with_capacity(rule.body.len());
+        for call in &rule.body {
+            match f(call, &mut fresh) {
+                Some(repl) => body.extend(repl),
+                None => body.push(call.clone()),
+            }
+        }
+        out.push_rule(Rule {
+            head: rule.head.clone(),
+            guards: rule.guards.clone(),
+            body,
+        });
+    }
+    out
+}
+
+/// Thread an extra argument through a set of procedures (the Server
+/// transformation's step 1) while rewriting primitive calls that need the
+/// threaded variable (steps 2–4).
+///
+/// For every rule of a procedure in `targets`:
+///
+/// * each body call is passed to `rewrite_prim(call, dt_term, fresh)`; if it
+///   returns a replacement, the call is considered to *use* the threaded
+///   variable;
+/// * each remaining call to a procedure in `targets` gets the threaded
+///   variable appended as a final argument;
+/// * the rule head gets the threaded variable appended — or a wildcard when
+///   nothing in the rule used it (matching the paper's Figure 5, where the
+///   leaf rule becomes `reduce(leaf(L),Value,_)`).
+///
+/// Calls *into* `targets` from procedures outside `targets` are an error in
+/// the caller's construction (they could not supply the argument), so this
+/// function returns them for the motif to report.
+pub fn thread_argument(
+    program: &Program,
+    targets: &BTreeSet<Key>,
+    var_base: &str,
+    rewrite_prim: &dyn Fn(&Call, &Ast, &mut FreshVars) -> Option<Vec<Call>>,
+) -> (Program, Vec<Key>) {
+    let mut out = Program::new();
+    let mut violations: Vec<Key> = Vec::new();
+    for proc in program.procedures() {
+        let key: Key = (proc.name.clone(), proc.arity);
+        let in_targets = targets.contains(&key);
+        for rule in &proc.rules {
+            if !in_targets {
+                // Outside the threaded set: verify it does not call into it.
+                for call in &rule.body {
+                    if let Some((n, a)) = call.goal.functor() {
+                        let k = (n.to_string(), a);
+                        if targets.contains(&k) && !violations.contains(&k) {
+                            violations.push(k);
+                        }
+                    }
+                }
+                out.push_rule(rule.clone());
+                continue;
+            }
+            let mut fresh = FreshVars::for_rule(rule);
+            let dt_name = fresh.fresh(var_base);
+            let dt = Ast::var(dt_name.clone());
+            let mut used = false;
+            let mut body = Vec::with_capacity(rule.body.len());
+            for call in &rule.body {
+                if let Some(repl) = rewrite_prim(call, &dt, &mut fresh) {
+                    used = true;
+                    body.extend(repl);
+                    continue;
+                }
+                if let Some((n, a)) = call.goal.functor() {
+                    if targets.contains(&(n.to_string(), a)) {
+                        let mut args: Vec<Ast> = call.goal.args().to_vec();
+                        args.push(dt.clone());
+                        body.push(Call {
+                            goal: Ast::tuple(n.to_string(), args),
+                            annotation: call.annotation.clone(),
+                        });
+                        used = true;
+                        continue;
+                    }
+                }
+                body.push(call.clone());
+            }
+            let mut head_args: Vec<Ast> = rule.head.args().to_vec();
+            head_args.push(if used { dt } else { Ast::Wild });
+            let head_name = rule
+                .head
+                .functor()
+                .expect("rule heads are callable")
+                .0
+                .to_string();
+            out.push_rule(Rule {
+                head: Ast::tuple(head_name, head_args),
+                guards: rule.guards.clone(),
+                body,
+            });
+        }
+    }
+    (out, violations)
+}
+
+/// Thread a *short circuit* through a set of procedures: each gets two
+/// extra arguments `(L, R)`; body calls to threaded procedures are chained
+/// `L → M1 → … → R`; rules with no threaded body call close the circuit
+/// with `L = R`. When every process has terminated, the whole circuit has
+/// collapsed and the root's `L = R` connection is observable — the paper's
+/// termination-detection technique (§3.3).
+pub fn thread_circuit(program: &Program, targets: &BTreeSet<Key>) -> Program {
+    let mut out = Program::new();
+    for proc in program.procedures() {
+        let key: Key = (proc.name.clone(), proc.arity);
+        if !targets.contains(&key) {
+            for rule in &proc.rules {
+                out.push_rule(rule.clone());
+            }
+            continue;
+        }
+        for rule in &proc.rules {
+            let mut fresh = FreshVars::for_rule(rule);
+            let left = Ast::var(fresh.fresh("Lc"));
+            let right = Ast::var(fresh.fresh("Rc"));
+            // Partition: which body calls participate in the circuit?
+            let threaded_idx: Vec<usize> = rule
+                .body
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| {
+                    c.goal
+                        .functor()
+                        .is_some_and(|(n, a)| targets.contains(&(n.to_string(), a)))
+                })
+                .map(|(i, _)| i)
+                .collect();
+            let mut body: Vec<Call> = Vec::with_capacity(rule.body.len() + 1);
+            if threaded_idx.is_empty() {
+                // Leaf rule: close the circuit.
+                body.push(Call::new(Ast::tuple(
+                    "=",
+                    vec![left.clone(), right.clone()],
+                )));
+                body.extend(rule.body.iter().cloned());
+            } else {
+                let mut cursor = left.clone();
+                let last = *threaded_idx.last().expect("nonempty");
+                for (i, call) in rule.body.iter().enumerate() {
+                    if !threaded_idx.contains(&i) {
+                        body.push(call.clone());
+                        continue;
+                    }
+                    let next = if i == last {
+                        right.clone()
+                    } else {
+                        Ast::var(fresh.fresh("Mc"))
+                    };
+                    let mut args: Vec<Ast> = call.goal.args().to_vec();
+                    args.push(cursor.clone());
+                    args.push(next.clone());
+                    let (name, _) = call.goal.functor().expect("threaded call is callable");
+                    body.push(Call {
+                        goal: Ast::tuple(name.to_string(), args),
+                        annotation: call.annotation.clone(),
+                    });
+                    cursor = next;
+                }
+            }
+            let mut head_args: Vec<Ast> = rule.head.args().to_vec();
+            head_args.push(left);
+            head_args.push(right);
+            let head_name = rule.head.functor().expect("callable").0.to_string();
+            out.push_rule(Rule {
+                head: Ast::tuple(head_name, head_args),
+                guards: rule.guards.clone(),
+                body,
+            });
+        }
+    }
+    out
+}
+
+/// Synthesize the `server/1` dispatch rules of the Rand transformation
+/// (§3.3, step 2): one rule per dispatched process type
+///
+/// ```text
+/// server([p(V1,…,Vn)|In]) :- p(V1,…,Vn), server(In).
+/// ```
+///
+/// plus the halt rule `server([halt|_])`.
+pub fn synthesize_dispatch_rules(types: &[Key]) -> Vec<Rule> {
+    let mut rules = Vec::with_capacity(types.len() + 1);
+    for (name, arity) in types {
+        let vars: Vec<Ast> = (1..=*arity).map(|i| Ast::var(format!("V{i}"))).collect();
+        let msg = Ast::tuple(name.clone(), vars.clone());
+        let head = Ast::tuple(
+            "server",
+            vec![Ast::cons(msg.clone(), Ast::var("In".to_string()))],
+        );
+        rules.push(Rule {
+            head,
+            guards: vec![],
+            body: vec![
+                Call::new(Ast::tuple(name.clone(), vars)),
+                Call::new(Ast::tuple("server", vec![Ast::var("In")])),
+            ],
+        });
+    }
+    rules.push(Rule {
+        head: Ast::tuple(
+            "server",
+            vec![Ast::cons(Ast::atom("halt"), Ast::Wild)],
+        ),
+        guards: vec![],
+        body: vec![],
+    });
+    rules
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strand_parse::{parse_program, pretty};
+
+    fn key(n: &str, a: usize) -> Key {
+        (n.to_string(), a)
+    }
+
+    #[test]
+    fn fresh_var_avoids_collisions() {
+        let taken: BTreeSet<String> =
+            ["DT".to_string(), "DT1".to_string()].into_iter().collect();
+        assert_eq!(fresh_var(&taken, "DT"), "DT2");
+        assert_eq!(fresh_var(&taken, "X"), "X");
+    }
+
+    #[test]
+    fn replace_calls_expands_sequences() {
+        let p = parse_program("f(X) :- ping(X), g(X).").unwrap();
+        let out = replace_calls(&p, &|call, fresh| {
+            if call.goal.functor() == Some(("ping", 1)) {
+                let t = Ast::var(fresh.fresh("T"));
+                Some(vec![
+                    Call::new(Ast::tuple("pre", vec![t.clone()])),
+                    Call::new(Ast::tuple("post", vec![t])),
+                ])
+            } else {
+                None
+            }
+        });
+        let r = &out.get("f", 1).unwrap().rules[0];
+        assert_eq!(r.body.len(), 3);
+        assert_eq!(r.body[0].goal.functor(), Some(("pre", 1)));
+        assert_eq!(r.body[1].goal.functor(), Some(("post", 1)));
+        assert_eq!(r.body[2].goal.functor(), Some(("g", 1)));
+        // The fresh variable is shared between pre and post.
+        assert_eq!(r.body[0].goal.args()[0], r.body[1].goal.args()[0]);
+    }
+
+    #[test]
+    fn thread_argument_server_example() {
+        // The paper's Figure 5 third→fourth stage, reduced to essentials.
+        let p = parse_program(
+            r#"
+            reduce(tree(V, L, R), Value) :-
+                nodes(N), rand_num(N, O), send(O, reduce(R, RV)),
+                reduce(L, LV), eval(V, LV, RV, Value).
+            reduce(leaf(L), Value) :- Value := L.
+            server([reduce(T, V)|In]) :- reduce(T, V), server(In).
+            server([halt|_]).
+        "#,
+        )
+        .unwrap();
+        let targets: BTreeSet<Key> = [key("reduce", 2), key("server", 1)].into_iter().collect();
+        let (out, violations) = thread_argument(&p, &targets, "DT", &|call, dt, _fresh| {
+            match call.goal.functor() {
+                Some(("send", 2)) => {
+                    let args = call.goal.args();
+                    Some(vec![Call::new(Ast::tuple(
+                        "distribute",
+                        vec![args[0].clone(), dt.clone(), args[1].clone()],
+                    ))])
+                }
+                Some(("nodes", 1)) => Some(vec![Call::new(Ast::tuple(
+                    "length",
+                    vec![dt.clone(), call.goal.args()[0].clone()],
+                ))]),
+                _ => None,
+            }
+        });
+        assert!(violations.is_empty());
+        let s = pretty(&out);
+        // Heads gained the DT argument; the leaf rule uses a wildcard.
+        assert!(s.contains("reduce(tree(V, L, R), Value, DT)"), "{s}");
+        assert!(s.contains("reduce(leaf(L), Value, _)"), "{s}");
+        assert!(s.contains("server([reduce(T, V)|In], DT)"), "{s}");
+        assert!(s.contains("server([halt|_], _)"), "{s}");
+        // Primitive calls were rewritten to use DT.
+        assert!(s.contains("length(DT, N)"), "{s}");
+        assert!(s.contains("distribute(O, DT, reduce(R, RV))"), "{s}");
+        // Recursive calls pass DT along.
+        assert!(s.contains("reduce(L, LV, DT)"), "{s}");
+        assert!(s.contains("server(In, DT)"), "{s}");
+        // eval/4 is untouched.
+        assert!(s.contains("eval(V, LV, RV, Value)"), "{s}");
+    }
+
+    #[test]
+    fn thread_argument_reports_outside_callers() {
+        let p = parse_program(
+            r#"
+            outside(X) :- inside(X).
+            inside(X) :- send(1, X).
+        "#,
+        )
+        .unwrap();
+        let targets: BTreeSet<Key> = [key("inside", 1)].into_iter().collect();
+        let (_, violations) = thread_argument(&p, &targets, "DT", &|_, _, _| None);
+        assert_eq!(violations, vec![key("inside", 1)]);
+    }
+
+    #[test]
+    fn thread_argument_picks_nonclashing_name() {
+        let p = parse_program("f(DT) :- send(1, DT), f(DT).").unwrap();
+        let targets: BTreeSet<Key> = [key("f", 1)].into_iter().collect();
+        let (out, _) = thread_argument(&p, &targets, "DT", &|call, dt, _| {
+            (call.goal.functor() == Some(("send", 2))).then(|| {
+                vec![Call::new(Ast::tuple(
+                    "distribute",
+                    vec![call.goal.args()[0].clone(), dt.clone(), call.goal.args()[1].clone()],
+                ))]
+            })
+        });
+        let s = pretty(&out);
+        assert!(s.contains("f(DT, DT1)"), "{s}");
+        assert!(s.contains("distribute(1, DT1, DT)"), "{s}");
+    }
+
+    #[test]
+    fn circuit_threads_and_closes() {
+        let p = parse_program(
+            r#"
+            walk(tree(L, R)) :- walk(L), note(x), walk(R).
+            walk(leaf).
+        "#,
+        )
+        .unwrap();
+        let targets: BTreeSet<Key> = [key("walk", 1)].into_iter().collect();
+        let out = thread_circuit(&p, &targets);
+        let s = pretty(&out);
+        // Interior rule: circuit chains through the two walk calls only.
+        assert!(s.contains("walk(tree(L, R), Lc, Rc)"), "{s}");
+        assert!(s.contains("walk(L, Lc, Mc)"), "{s}");
+        assert!(s.contains("walk(R, Mc, Rc)"), "{s}");
+        assert!(s.contains("note(x)"), "{s}");
+        // Leaf rule closes the circuit.
+        assert!(s.contains("walk(leaf, Lc, Rc)"), "{s}");
+        assert!(s.contains("Lc = Rc"), "{s}");
+    }
+
+    #[test]
+    fn circuit_runs_and_detects_termination() {
+        // End-to-end: when the walk finishes, Done gets bound.
+        let p = parse_program(
+            r#"
+            walk(tree(L, R)) :- walk(L), walk(R).
+            walk(leaf).
+            go(T, Done) :- walk(T, Done, done).
+        "#,
+        )
+        .unwrap();
+        // go/2 supplies the circuit ends (left = the observed variable,
+        // right = the `done` sentinel; closures bind left ends to right
+        // ends, so completion propagates right-to-left); thread only walk/1.
+        let targets: BTreeSet<Key> = [key("walk", 1)].into_iter().collect();
+        let out = thread_circuit(&p, &targets);
+        let r = strand_machine::run_parsed_goal(
+            &out,
+            "go(tree(tree(leaf, leaf), leaf), Done)",
+            strand_machine::MachineConfig::default(),
+        )
+        .unwrap();
+        assert!(r.completed());
+        assert_eq!(r.bindings["Done"].to_string(), "done");
+    }
+
+    #[test]
+    fn threading_preserves_annotations() {
+        // Both argument threading and circuit threading must carry call
+        // annotations through — motif composition depends on it (pragmas
+        // are resolved by LATER stages).
+        let p = parse_program(
+            r#"
+            f(X) :- g(X)@random, f(X)@3, send(1, X).
+            g(_).
+        "#,
+        )
+        .unwrap();
+        let targets: BTreeSet<Key> = [key("f", 1)].into_iter().collect();
+        let (out, _) = thread_argument(&p, &targets, "DT", &|call, dt, _| {
+            (call.goal.functor() == Some(("send", 2))).then(|| {
+                vec![Call::new(Ast::tuple(
+                    "distribute",
+                    vec![call.goal.args()[0].clone(), dt.clone(), call.goal.args()[1].clone()],
+                ))]
+            })
+        });
+        let s = pretty(&out);
+        assert!(s.contains("g(X)@random"), "{s}");
+        assert!(s.contains("f(X, DT)@3"), "{s}");
+
+        let targets: BTreeSet<Key> = [key("f", 1)].into_iter().collect();
+        let out = thread_circuit(&p, &targets);
+        let s = pretty(&out);
+        assert!(s.contains("g(X)@random"), "{s}");
+        assert!(s.contains("f(X, Lc, Rc)@3"), "{s}");
+    }
+
+    #[test]
+    fn circuit_threads_guarded_rules() {
+        let p = parse_program(
+            r#"
+            count(N) :- N > 0 | N1 := N - 1, count(N1).
+            count(0).
+        "#,
+        )
+        .unwrap();
+        let targets: BTreeSet<Key> = [key("count", 1)].into_iter().collect();
+        let out = thread_circuit(&p, &targets);
+        let s = pretty(&out);
+        // Guards stay put; circuit chains through the recursive call only.
+        assert!(s.contains("count(N, Lc, Rc) :- N > 0 |"), "{s}");
+        assert!(s.contains("count(N1, Lc, Rc)"), "{s}");
+        assert!(s.contains("count(0, Lc, Rc)"), "{s}");
+        assert!(s.contains("Lc = Rc"), "{s}");
+    }
+
+    #[test]
+    fn fresh_vars_scoped_per_rule() {
+        // Two rules may both receive the base name: freshness is per rule.
+        let p = parse_program("f(A) :- send(1, A). f(B) :- send(2, B).").unwrap();
+        let targets: BTreeSet<Key> = [key("f", 1)].into_iter().collect();
+        let (out, _) = thread_argument(&p, &targets, "DT", &|call, dt, _| {
+            (call.goal.functor() == Some(("send", 2))).then(|| {
+                vec![Call::new(Ast::tuple("noted", vec![dt.clone(), call.goal.args()[1].clone()]))]
+            })
+        });
+        let s = pretty(&out);
+        assert_eq!(s.matches("f(A, DT)").count() + s.matches("f(B, DT)").count(), 2, "{s}");
+    }
+
+    #[test]
+    fn dispatch_rules_match_paper_shape() {
+        let rules = synthesize_dispatch_rules(&[key("reduce", 2)]);
+        let mut p = Program::new();
+        for r in rules {
+            p.push_rule(r);
+        }
+        let s = pretty(&p);
+        assert!(s.contains("server([reduce(V1, V2)|In]) :-"), "{s}");
+        assert!(s.contains("reduce(V1, V2)"), "{s}");
+        assert!(s.contains("server(In)"), "{s}");
+        assert!(s.contains("server([halt|_])."), "{s}");
+    }
+}

@@ -1,0 +1,37 @@
+//! Print the three program stages of `Tree-Reduce-1 = Server ∘ Rand ∘
+//! Tree1` — the reproduction of the paper's Figures 5 and 6.
+//!
+//! ```sh
+//! cargo run --example motif_composition
+//! ```
+
+use algorithmic_motifs::motifs::{rand_map, server, tree1, ARITH_EVAL};
+use algorithmic_motifs::strand_parse::{parse_program, pretty};
+
+fn main() {
+    let app = parse_program(ARITH_EVAL).expect("user eval parses");
+    println!("%%% The application program: eval/4 only %%%\n{}", pretty(&app));
+
+    // Stage 1: Tree1 (identity transformation + 5-line library).
+    let stage1 = tree1().apply(&app).expect("Tree1");
+    println!("%%% Output of Tree-Reduce-1's first stage (Tree1) %%%\n{}", pretty(&stage1));
+
+    // Stage 2: Rand (expand @random, synthesize server/1).
+    let stage2 = rand_map().apply(&stage1).expect("Rand");
+    println!("%%% Output of Rand %%%\n{}", pretty(&stage2));
+
+    // Stage 3: Server (thread DT, translate send/nodes/halt, link library).
+    let stage3 = server().apply(&stage2).expect("Server");
+    println!("%%% Output of Server (executable parallel program) %%%\n{}", pretty(&stage3));
+
+    // The equations of §2.2 hold: applying the composed motif in one step
+    // produces the same program.
+    let composed = server().compose(&rand_map()).compose(&tree1());
+    let direct = composed.apply(&app).expect("composed motif applies");
+    assert_eq!(
+        pretty(&direct),
+        pretty(&stage3),
+        "M2(M1(A)) must equal (M2 o M1)(A)"
+    );
+    println!("% Verified: (Server o Rand o Tree1)(A) == Server(Rand(Tree1(A)))");
+}

@@ -1,0 +1,48 @@
+//! Quickstart: evaluate the paper's §3.1 arithmetic tree with the composed
+//! `Tree-Reduce-1 = Server ∘ Rand ∘ Tree1` motif.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use algorithmic_motifs::motifs::{tree_reduce_1, ARITH_EVAL};
+use algorithmic_motifs::strand_machine::{run_parsed_goal, MachineConfig};
+
+fn main() {
+    // 1. The user supplies only the node evaluation function (§3.4: "the
+    //    user would not need to be aware of the implementation details …
+    //    he would only need to provide the four-line program").
+    let user_program = ARITH_EVAL;
+
+    // 2. Apply the composed motif: T(A) ∪ L.
+    let motif = tree_reduce_1();
+    let program = motif
+        .apply_src(user_program)
+        .expect("motif applies to the eval program");
+    println!("Applied motif: {}", motif.name());
+    println!(
+        "User program: 5 rules; generated parallel program: {} rules\n",
+        program.rule_count()
+    );
+
+    // 3. Run on a simulated 4-processor multicomputer. The tree is the
+    //    paper's example: (3*2)*((2+1)+1) = 24.
+    let tree = "tree('*', tree('*', leaf(3), leaf(2)), \
+                tree('+', tree('+', leaf(2), leaf(1)), leaf(1)))";
+    let result = run_parsed_goal(
+        &program,
+        &format!("create(4, reduce({tree}, Value))"),
+        MachineConfig::with_nodes(4).seed(1),
+    )
+    .expect("the program runs");
+
+    println!("Value = {}", result.bindings["Value"]);
+    let m = &result.report.metrics;
+    println!(
+        "reductions per node: {:?}\ncross-node messages: {}\nvirtual makespan: {} ticks",
+        m.reductions,
+        m.total_messages(),
+        m.makespan
+    );
+    assert_eq!(result.bindings["Value"].to_string(), "24");
+}

@@ -1,0 +1,90 @@
+//! The Scheduler motif ([6], §1) and its reuse-by-modification story: a
+//! manager/worker task farm, then the same farm with an extra hierarchy
+//! level for a "highly parallel computer".
+//!
+//! ```sh
+//! cargo run --example scheduler_farm
+//! ```
+
+use algorithmic_motifs::motifs::scheduler::{
+    scheduler, scheduler_hierarchical, tasks_src, BURN_TASK,
+};
+use algorithmic_motifs::strand_machine::{run_parsed_goal, MachineConfig};
+
+fn main() {
+    // 120 tasks with skewed costs (the dynamic-balancing case the paper's
+    // schedulers exist for).
+    let costs: Vec<u64> = (0..120).map(|i| if i % 17 == 0 { 400 } else { 20 }).collect();
+    let total: u64 = costs.iter().sum();
+    println!("120 tasks, total work {total} ticks\n");
+
+    // Single-level farm on 9 simulated processors.
+    let p = scheduler().apply_src(BURN_TASK).expect("scheduler applies");
+    let r = run_parsed_goal(
+        &p,
+        &format!("create(9, start({}, Results))", tasks_src(&costs)),
+        MachineConfig::with_nodes(9).seed(4),
+    )
+    .expect("farm runs");
+    let m = &r.report.metrics;
+    println!(
+        "1-level farm: makespan {} (ideal {}), manager busy {}, results {}",
+        m.makespan,
+        total / 9,
+        m.busy[0],
+        r.bindings["Results"].as_proper_list().unwrap().len()
+    );
+
+    // Two-level farm: 2 groups of 4 workers ("introducing additional
+    // levels in its manager/worker hierarchy", §1).
+    let p2 = scheduler_hierarchical()
+        .apply_src(BURN_TASK)
+        .expect("scheduler2 applies");
+    let r2 = run_parsed_goal(
+        &p2,
+        &format!("create(9, start2({}, Results, 2))", tasks_src(&costs)),
+        MachineConfig::with_nodes(9).seed(4),
+    )
+    .expect("hierarchical farm runs");
+    let m2 = &r2.report.metrics;
+    println!(
+        "2-level farm: makespan {}, top manager busy {} (vs {} single-level)",
+        m2.makespan, m2.busy[0], m.busy[0]
+    );
+    assert_eq!(
+        r2.bindings["Results"].as_proper_list().unwrap().len(),
+        costs.len()
+    );
+
+    // The §2.2 pragma interface: no task lists, no scheduler calls — just
+    // mark the calls with @task and apply the Sched motif.
+    let app = r#"
+        crunch(0, V) :- V := 0.
+        crunch(N, V) :- N > 0 |
+            cost(N, C),
+            burn(C, V1)@task,
+            N1 := N - 1,
+            crunch(N1, V2),
+            add(V1, V2, V).
+        cost(N, C) :- M := N mod 5, C := 20 + M * 80.
+        burn(C, V) :- work(C), V := 1.
+        add(V1, V2, V) :- V := V1 + V2.
+    "#;
+    use algorithmic_motifs::motifs::{boot_goal, task_scheduler_with_entries};
+    let p3 = task_scheduler_with_entries(&[("crunch", 2)])
+        .apply_src(app)
+        .expect("Sched motif applies");
+    let r3 = run_parsed_goal(
+        &p3,
+        &boot_goal(9, "crunch", &["60", "V"]),
+        MachineConfig::with_nodes(9).seed(4),
+    )
+    .expect("@task program runs");
+    println!(
+        "
+@task pragma (Sched motif): 60 tasks, V = {}, makespan {}, status {:?}",
+        r3.bindings["V"],
+        r3.report.metrics.makespan,
+        r3.report.status
+    );
+}

@@ -1,0 +1,42 @@
+//! Smoke tests for the experiment harness: every listed experiment is
+//! runnable (the cheap ones end to end; the expensive ones are covered by
+//! `motif-bench` itself and by the claims tests).
+
+#[test]
+fn every_experiment_name_resolves() {
+    for name in bench::EXPERIMENTS {
+        // Resolution only — unknown names must be the only None.
+        assert!(
+            bench::EXPERIMENTS.contains(name),
+            "inconsistent experiment list"
+        );
+    }
+    assert!(bench::run_experiment("no-such-experiment").is_none());
+}
+
+#[test]
+fn cheap_experiments_render_tables() {
+    for name in ["fig1", "fig4", "e5-loc"] {
+        let out = bench::run_experiment(name).expect("known experiment");
+        assert!(out.contains("=="), "{name} produced no table:\n{out}");
+        assert!(out.lines().count() > 4, "{name} table too small");
+    }
+}
+
+#[test]
+fn fig5_prints_all_three_stages() {
+    let out = bench::run_experiment("fig5").expect("fig5 exists");
+    assert!(out.contains("Stage 1"));
+    assert!(out.contains("Stage 2"));
+    assert!(out.contains("Stage 3"));
+    assert!(out.contains("@random"));
+    assert!(out.contains("distribute("));
+}
+
+#[test]
+fn motif_catalog_is_complete_and_exclusive() {
+    for name in bench::MOTIF_SOURCES {
+        assert!(bench::motif_source(name).is_some(), "{name} missing");
+    }
+    assert!(bench::motif_source("not-a-motif").is_none());
+}

@@ -1,0 +1,149 @@
+//! Integration tests reproducing the paper's figures (F1–F7 in
+//! EXPERIMENTS.md) across the whole stack: parser → transformations →
+//! motifs → abstract machine.
+
+use algorithmic_motifs::motifs::{
+    self, rand_map, server, tree1, tree_reduce_1, tree_reduce_2, ARITH_EVAL,
+};
+use algorithmic_motifs::strand_machine::{run_goal, run_parsed_goal, MachineConfig, RunStatus};
+use algorithmic_motifs::strand_parse::{parse_program, pretty};
+
+const FIGURE1: &str = r#"
+    go(N) :- producer(N, Xs, sync), consumer(Xs).
+    producer(N, Xs, sync) :- N > 0 |
+        Xs := [X|Xs1], N1 := N - 1, producer(N1, Xs1, X).
+    producer(0, Xs, _) :- Xs := [].
+    consumer([X|Xs]) :- X := sync, consumer(Xs).
+    consumer([]).
+"#;
+
+#[test]
+fn fig1_producer_consumer_terminates_synchronously() {
+    let r = run_goal(FIGURE1, "go(4)", MachineConfig::default()).unwrap();
+    assert_eq!(r.report.status, RunStatus::Completed);
+    // The communication is synchronous: each element needs an ack, so
+    // suspensions scale with N.
+    let r64 = run_goal(FIGURE1, "go(64)", MachineConfig::default()).unwrap();
+    assert!(r64.report.metrics.suspensions > r.report.metrics.suspensions);
+    // And the producer never runs ahead: bounded queue.
+    assert!(r64.report.metrics.peak_queue[0] <= 8);
+}
+
+#[test]
+fn fig2_handwritten_program_evaluates_the_example_tree() {
+    let src = format!(
+        "{ARITH_EVAL}\n{}\n{}",
+        bench::FIGURE2_HANDWRITTEN,
+        motifs::SERVER_LIBRARY
+    );
+    let r = run_goal(
+        &src,
+        &format!("create(4, reduce({}, Value))", bench::PAPER_TREE),
+        MachineConfig::with_nodes(4).seed(1),
+    )
+    .unwrap();
+    assert_eq!(r.bindings["Value"].to_string(), "24");
+}
+
+#[test]
+fn fig4_every_server_pair_communicates() {
+    let flood = r#"
+        server([probe(K)|In]) :- fan(K), server(In).
+        server([halt|_]).
+        fan(K) :- nodes(N), fan1(K, N).
+        fan1(K, N) :- K < N | K1 := K + 1, send(K1, probe(K1)), fan1(K1, N).
+        fan1(N, N) :- halt.
+    "#;
+    for n in [2u32, 5, 9] {
+        let p = server().apply_src(flood).unwrap();
+        let r = run_parsed_goal(
+            &p,
+            &format!("create({n}, probe(1))"),
+            MachineConfig::with_nodes(n),
+        )
+        .unwrap();
+        assert_eq!(r.report.status, RunStatus::Completed, "n={n}");
+        assert!(r.report.metrics.port_msgs_cross >= (n as u64) * (n as u64 - 1) / 2);
+    }
+}
+
+#[test]
+fn fig5_stages_match_the_paper_structure() {
+    let app = parse_program(ARITH_EVAL).unwrap();
+    let s1 = tree1().apply(&app).unwrap();
+    let p1 = pretty(&s1);
+    // Stage 1: the @random pragma is present, no server machinery.
+    assert!(p1.contains("reduce(R, RV)@random"), "{p1}");
+    assert!(!p1.contains("server"), "{p1}");
+
+    let s2 = rand_map().apply(&s1).unwrap();
+    let p2 = pretty(&s2);
+    // Stage 2: pragma expanded into nodes/rand_num/send; dispatch rules.
+    assert!(!p2.contains("@random"), "{p2}");
+    assert!(p2.contains("rand_num"), "{p2}");
+    assert!(p2.contains("send("), "{p2}");
+    assert!(p2.contains("server([reduce(V1, V2)|In]) :-"), "{p2}");
+    assert!(p2.contains("server([halt|_])."), "{p2}");
+
+    let s3 = server().apply(&s2).unwrap();
+    let p3 = pretty(&s3);
+    // Stage 3: operations translated, DT threaded, library linked.
+    assert!(!p3.contains("send("), "{p3}");
+    assert!(p3.contains("distribute("), "{p3}");
+    assert!(p3.contains("length(DT"), "{p3}");
+    assert!(p3.contains("create(N, Msg)"), "{p3}");
+    assert!(p3.contains("server_init"), "{p3}");
+}
+
+#[test]
+fn fig6_composition_equation_holds() {
+    // M(A) = M2(M1(A)) for the full chain, on two different applications.
+    for app_src in [ARITH_EVAL, "eval(_, L, R, V) :- V := L + R."] {
+        let app = parse_program(app_src).unwrap();
+        let staged = server()
+            .apply(&rand_map().apply(&tree1().apply(&app).unwrap()).unwrap())
+            .unwrap();
+        let composed = server()
+            .compose(&rand_map())
+            .compose(&tree1())
+            .apply(&app)
+            .unwrap();
+        assert_eq!(pretty(&staged), pretty(&composed));
+    }
+}
+
+#[test]
+fn fig7_tree_reduce_2_runs_and_halts() {
+    let p = tree_reduce_2().apply_src(ARITH_EVAL).unwrap();
+    let tree = motifs::random_tree_src(20, 5);
+    let expected = motifs::sequential_reduce(&tree);
+    let cfg = MachineConfig::with_nodes(4).seed(5).track("eval");
+    let r = run_parsed_goal(&p, &format!("create(4, tr2({tree}, Value))"), cfg).unwrap();
+    assert_eq!(r.report.status, RunStatus::Completed);
+    assert_eq!(r.bindings["Value"].to_string(), expected.to_string());
+    assert_eq!(r.report.metrics.max_peak_tracked(), 1);
+}
+
+#[test]
+fn both_tree_motifs_share_one_user_interface() {
+    // §3.6: "These provide the same interface to the user, who need
+    // provide only a node evaluation function."
+    let tree = motifs::random_tree_src(10, 2);
+    let expected = motifs::sequential_reduce(&tree).to_string();
+    let p1 = tree_reduce_1().apply_src(ARITH_EVAL).unwrap();
+    let r1 = run_parsed_goal(
+        &p1,
+        &format!("create(3, reduce({tree}, Value))"),
+        MachineConfig::with_nodes(3).seed(2),
+    )
+    .unwrap();
+    let p2 = tree_reduce_2().apply_src(ARITH_EVAL).unwrap();
+    let r2 = run_parsed_goal(
+        &p2,
+        &format!("create(3, tr2({tree}, Value))"),
+        MachineConfig::with_nodes(3).seed(2),
+    )
+    .unwrap();
+    assert_eq!(r1.bindings["Value"].to_string(), expected);
+    assert_eq!(r2.bindings["Value"].to_string(), expected);
+}
