@@ -31,37 +31,37 @@ fn bench_machine(c: &mut Criterion) {
 
     // Tree-Reduce-1 end to end (transform + compile + simulate).
     g.bench_function("tree_reduce_1_leaves64_p4", |b| {
-        let program = motifs::tree_reduce_1().apply_src(motifs::ARITH_EVAL).unwrap();
+        let program = motifs::tree_reduce_1()
+            .apply_src(motifs::ARITH_EVAL)
+            .unwrap();
         let tree = motifs::random_tree_src(64, 3);
         let goal = format!("create(4, reduce({tree}, Value))");
         b.iter(|| {
-            strand_machine::run_parsed_goal(
-                &program,
-                &goal,
-                MachineConfig::with_nodes(4).seed(3),
-            )
-            .unwrap()
+            strand_machine::run_parsed_goal(&program, &goal, MachineConfig::with_nodes(4).seed(3))
+                .unwrap()
         })
     });
 
     // Tree-Reduce-2 on the same workload.
     g.bench_function("tree_reduce_2_leaves64_p4", |b| {
-        let program = motifs::tree_reduce_2().apply_src(motifs::ARITH_EVAL).unwrap();
+        let program = motifs::tree_reduce_2()
+            .apply_src(motifs::ARITH_EVAL)
+            .unwrap();
         let tree = motifs::random_tree_src(64, 3);
         let goal = format!("create(4, tr2({tree}, Value))");
         b.iter(|| {
-            strand_machine::run_parsed_goal(
-                &program,
-                &goal,
-                MachineConfig::with_nodes(4).seed(3),
-            )
-            .unwrap()
+            strand_machine::run_parsed_goal(&program, &goal, MachineConfig::with_nodes(4).seed(3))
+                .unwrap()
         })
     });
 
     // Motif application cost (transformation + linking, no execution).
     g.bench_function("compose_tree_reduce_1", |b| {
-        b.iter(|| motifs::tree_reduce_1().apply_src(motifs::ARITH_EVAL).unwrap())
+        b.iter(|| {
+            motifs::tree_reduce_1()
+                .apply_src(motifs::ARITH_EVAL)
+                .unwrap()
+        })
     });
 
     g.finish();

@@ -12,7 +12,9 @@ fn bench_motif_suite(c: &mut Criterion) {
     // Graph components: ring of 24 vertices on 4 servers.
     g.bench_function("graph_components_ring24", |b| {
         let edges: Vec<(u32, u32)> = (1..24).map(|i| (i, i + 1)).chain([(24, 1)]).collect();
-        let prog = motifs::graph::graph_components().apply_src("noop(1).").unwrap();
+        let prog = motifs::graph::graph_components()
+            .apply_src("noop(1).")
+            .unwrap();
         let goal = format!(
             "create(4, cc(24, {}, Final))",
             motifs::graph::edges_src(&edges)

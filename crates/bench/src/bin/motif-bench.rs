@@ -3,8 +3,35 @@
 //! Usage: `motif-bench [experiment...]` — with no arguments, runs them all.
 //! Experiment names: see `motif-bench list`.
 
+/// Counting allocator so `machine-json` can report allocations/reduction.
+#[global_allocator]
+static ALLOC: bench::counting_alloc::CountingAllocator = bench::counting_alloc::CountingAllocator;
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("machine-json") {
+        // Machine hot-path throughput, written as JSON with the first
+        // recording preserved as the comparison baseline.
+        let path = args
+            .get(1)
+            .map(String::as_str)
+            .unwrap_or("BENCH_machine.json");
+        let previous = std::fs::read_to_string(path).ok();
+        let reports = bench::machine_bench::run_machine_bench(previous.as_deref());
+        let json = bench::machine_bench::render_json(&reports);
+        std::fs::write(path, &json).expect("write bench json");
+        print!("{json}");
+        for r in &reports {
+            eprintln!(
+                "{:<16} {:>12.0} red/s ({:>5.2}x baseline), {:>6.2} allocs/red",
+                r.name,
+                r.reductions_per_sec,
+                r.speedup_vs_baseline(),
+                r.allocs_per_reduction
+            );
+        }
+        return;
+    }
     if args.iter().any(|a| a == "list" || a == "--list") {
         for name in bench::EXPERIMENTS {
             println!("{name}");

@@ -1,0 +1,48 @@
+//! A counting global allocator for allocations-per-reduction measurements.
+//!
+//! The `motif-bench` binary installs [`CountingAllocator`] as its
+//! `#[global_allocator]`; [`allocations`] then reports the running count of
+//! heap allocations (including reallocs) with one relaxed atomic increment
+//! of overhead per call. In processes that don't install it, the counter
+//! simply stays at zero.
+//!
+//! (A size-class pooling layer was prototyped here and benchmarked at
+//! parity with the system allocator — glibc's tcache already serves the
+//! engine's small-block pattern from a thread-local free list — so the
+//! simple pass-through stays.)
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Total heap allocations made through [`CountingAllocator`] so far.
+pub fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Pass-through to the system allocator that counts allocation events.
+pub struct CountingAllocator;
+
+// SAFETY: defers entirely to `System`; the atomic bump has no allocator
+// side effects.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}

@@ -3,12 +3,12 @@
 use crate::table::Table;
 use motifs::scheduler::{scheduler, scheduler_hierarchical, tasks_src, BURN_TASK};
 use motifs::{
-    balanced_tree_src, random_tree_src, sequential_reduce, server, tree_reduce_1,
-    tree_reduce_2, ARITH_EVAL,
+    balanced_tree_src, random_tree_src, sequential_reduce, server, supervised_server,
+    tree_reduce_1, tree_reduce_2, ARITH_EVAL,
 };
 use seqalign::{align_family_parallel, align_family_seq, FamilyParams, ScoreParams};
 use skeletons::{Labeling, Pool};
-use strand_machine::{run_goal, run_parsed_goal, GoalResult, MachineConfig, RunStatus};
+use strand_machine::{run_goal, run_parsed_goal, FaultPlan, GoalResult, MachineConfig, RunStatus};
 
 /// Uniform-cost arithmetic eval: every node evaluation takes `cost` ticks.
 pub fn uniform_eval(cost: u64) -> String {
@@ -66,8 +66,12 @@ fn run_tr1(eval_src: &str, tree: &str, servers: u32, seed: u64, track: &str) -> 
     if !track.is_empty() {
         cfg = cfg.track(track);
     }
-    run_parsed_goal(&p, &format!("create({servers}, reduce({tree}, Value))"), cfg)
-        .expect("TR1 runs")
+    run_parsed_goal(
+        &p,
+        &format!("create({servers}, reduce({tree}, Value))"),
+        cfg,
+    )
+    .expect("TR1 runs")
 }
 
 fn run_tr2(eval_src: &str, tree: &str, servers: u32, seed: u64, track: &str) -> GoalResult {
@@ -76,8 +80,7 @@ fn run_tr2(eval_src: &str, tree: &str, servers: u32, seed: u64, track: &str) -> 
     if !track.is_empty() {
         cfg = cfg.track(track);
     }
-    run_parsed_goal(&p, &format!("create({servers}, tr2({tree}, Value))"), cfg)
-        .expect("TR2 runs")
+    run_parsed_goal(&p, &format!("create({servers}, tr2({tree}, Value))"), cfg).expect("TR2 runs")
 }
 
 /// F1: the Figure 1 producer/consumer program.
@@ -112,7 +115,10 @@ pub fn fig1() -> Table {
 /// F2/F3: the hand-written tree reduction (Figure 2) over the server
 /// library (Figure 3).
 pub fn fig2() -> Table {
-    let program_src = format!("{ARITH_EVAL}\n{FIGURE2_HANDWRITTEN}\n{}", motifs::SERVER_LIBRARY);
+    let program_src = format!(
+        "{ARITH_EVAL}\n{FIGURE2_HANDWRITTEN}\n{}",
+        motifs::SERVER_LIBRARY
+    );
     let mut t = Table::new(
         "F2/F3: hand-written tree reduction on the server library",
         &["servers", "value", "status", "reductions", "cross msgs"],
@@ -147,7 +153,12 @@ pub fn fig4() -> Table {
     "#;
     let mut t = Table::new(
         "F4: server network — all-pairs probe flood",
-        &["servers", "status", "cross port msgs", "min expected (C(n,2))"],
+        &[
+            "servers",
+            "status",
+            "cross port msgs",
+            "min expected (C(n,2))",
+        ],
     );
     for n in [2u32, 4, 8, 16] {
         let p = server().apply_src(flood).expect("server motif applies");
@@ -189,7 +200,14 @@ pub fn fig5() -> String {
 pub fn fig7() -> Table {
     let mut t = Table::new(
         "F7: Tree-Reduce-2 (queued values, sequenced evaluation)",
-        &["leaves", "servers", "value ok", "status", "peak pending", "peak live evals"],
+        &[
+            "leaves",
+            "servers",
+            "value ok",
+            "status",
+            "peak pending",
+            "peak live evals",
+        ],
     );
     for (leaves, servers) in [(8u32, 2u32), (16, 4), (64, 4), (64, 8)] {
         let tree = random_tree_src(leaves, 7);
@@ -350,7 +368,14 @@ pub fn e3_comm() -> Table {
 pub fn e4_speedup() -> Table {
     let mut t = Table::new(
         "E4: virtual-time speedup (leaves=128)",
-        &["cost model", "P", "TR1 makespan", "TR1 speedup", "TR2 makespan", "TR2 speedup"],
+        &[
+            "cost model",
+            "P",
+            "TR1 makespan",
+            "TR1 speedup",
+            "TR2 makespan",
+            "TR2 speedup",
+        ],
     );
     for (label, eval_src) in [
         ("uniform(200)", uniform_eval(200)),
@@ -401,7 +426,13 @@ pub fn e5_loc() -> Table {
 pub fn e6_compose() -> Table {
     let mut t = Table::new(
         "E6: composed motif vs hand-written program (4 servers)",
-        &["tree", "hand value", "composed value", "hand reductions", "composed reductions"],
+        &[
+            "tree",
+            "hand value",
+            "composed value",
+            "hand reductions",
+            "composed reductions",
+        ],
     );
     let hand_src = format!(
         "{ARITH_EVAL}\n{FIGURE2_HANDWRITTEN}\n{}",
@@ -437,7 +468,16 @@ pub fn e6_compose() -> Table {
 pub fn e7_scheduler() -> Table {
     let mut t = Table::new(
         "E7: manager/worker scheduler, 1-level vs 2-level (240 tasks x 5 ticks)",
-        &["P", "groups", "makespan 1L", "makespan 2L", "mgr busy 1L", "mgr busy 2L", "msgs into mgr 1L", "msgs into mgr 2L"],
+        &[
+            "P",
+            "groups",
+            "makespan 1L",
+            "makespan 2L",
+            "mgr busy 1L",
+            "mgr busy 2L",
+            "msgs into mgr 1L",
+            "msgs into mgr 2L",
+        ],
     );
     let costs: Vec<u64> = vec![5; 240];
     for (p, g) in [(9u32, 2u32), (17, 4), (25, 4), (41, 8), (65, 16)] {
@@ -482,7 +522,15 @@ pub fn e7_scheduler() -> Table {
 pub fn e8_seqalign() -> Table {
     let mut t = Table::new(
         "E8: progressive RNA alignment via tree reduction (4 worker threads)",
-        &["seqs", "labeling", "identity", "columns", "crossings", "peak live KiB", "evals/worker"],
+        &[
+            "seqs",
+            "labeling",
+            "identity",
+            "columns",
+            "crossings",
+            "peak live KiB",
+            "evals/worker",
+        ],
     );
     let params = ScoreParams::default();
     for leaves in [8usize, 16, 32] {
@@ -501,10 +549,7 @@ pub fn e8_seqalign() -> Table {
             let pool = Pool::new(4, false);
             let out = align_family_parallel(&pool, &fam.sequences, &params, labeling);
             assert_eq!(out.value, seq_ref, "parallel must equal sequential");
-            let spread = format!(
-                "{:?}",
-                out.evals_per_worker
-            );
+            let spread = format!("{:?}", out.evals_per_worker);
             t.row(vec![
                 leaves.to_string(),
                 name.to_string(),
@@ -560,8 +605,10 @@ pub fn e9_future() -> Table {
     )
     .expect("sort runs");
     let sorted = r.bindings["S"].as_proper_list().map(|v| {
-        v.windows(2).all(|w| format!("{}", w[0]).parse::<i64>().unwrap()
-            <= format!("{}", w[1]).parse::<i64>().unwrap())
+        v.windows(2).all(|w| {
+            format!("{}", w[0]).parse::<i64>().unwrap()
+                <= format!("{}", w[1]).parse::<i64>().unwrap()
+        })
     });
     t.row(vec![
         "DivideAndConquer".into(),
@@ -580,10 +627,8 @@ pub fn e9_future() -> Table {
         MachineConfig::with_nodes(4),
     )
     .expect("grid runs");
-    let expected = motifs::grid::sequential_stencil(
-        &(1..=8).map(|i| i as f64).collect::<Vec<_>>(),
-        10,
-    );
+    let expected =
+        motifs::grid::sequential_stencil(&(1..=8).map(|i| i as f64).collect::<Vec<_>>(), 10);
     let got: Vec<f64> = r.bindings["Final"]
         .as_proper_list()
         .expect("grid output list")
@@ -775,7 +820,15 @@ pub fn e8_sim() -> Table {
 
     let mut t = Table::new(
         "E8-sim: full MSA inside the simulated multicomputer (native align_node)",
-        &["seqs", "motif", "servers", "status", "makespan", "cross msgs", "identity"],
+        &[
+            "seqs",
+            "motif",
+            "servers",
+            "status",
+            "makespan",
+            "cross msgs",
+            "identity",
+        ],
     );
     for leaves in [8usize, 16] {
         let fam = seqalign::generate_family(&FamilyParams {
@@ -833,7 +886,13 @@ pub fn e8_sim() -> Table {
 pub fn a1_latency() -> Table {
     let mut t = Table::new(
         "A1: makespan vs message latency (leaves=96, P=8, uniform cost 50)",
-        &["latency", "TR1 makespan", "TR2 makespan", "TR1 slowdown", "TR2 slowdown"],
+        &[
+            "latency",
+            "TR1 makespan",
+            "TR2 makespan",
+            "TR1 slowdown",
+            "TR2 slowdown",
+        ],
     );
     let tree = random_tree_src(96, 31);
     let eval = uniform_eval(50);
@@ -870,14 +929,127 @@ pub fn a1_latency() -> Table {
     t
 }
 
+/// The fault-sweep workload (experiment A2): a token ring of servers. Each
+/// server prints its number and forwards the token; the last one halts the
+/// network. Every `send/2` in this application becomes a reliable `rsend`
+/// under the Supervise motif with zero source changes.
+pub const RING_APP: &str = r#"
+    server([token(K)|In]) :- pass(K), server(In).
+    server([halt|_]).
+    pass(K) :- work(40), print(K), nodes(N), next(K, N).
+    next(K, N) :- K < N | K1 := K + 1, send(K1, token(K1)).
+    next(N, N) :- halt.
+"#;
+
+/// One row of the A2 fault sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultSweepPoint {
+    pub drop_prob: f64,
+    pub runs: u32,
+    /// Tokens that should be printed across all runs (ring size × runs).
+    pub expected: u64,
+    /// Distinct tokens actually printed (at-least-once delivery counts
+    /// once — a replayed handler does not inflate the rate).
+    pub delivered: u64,
+    /// Runs that reached `RunStatus::Completed`.
+    pub completed: u32,
+    pub mean_makespan: f64,
+}
+
+impl FaultSweepPoint {
+    pub fn delivery_rate(&self) -> f64 {
+        self.delivered as f64 / self.expected as f64
+    }
+}
+
+/// Run the supervised ring across `seeds` at each drop probability. Both
+/// the program seed and the fault seed vary with `seeds`, so each run sees
+/// an independent loss pattern.
+pub fn fault_sweep(ring: u32, probs: &[f64], seeds: &[u64]) -> Vec<FaultSweepPoint> {
+    let prog = supervised_server()
+        .apply_src(RING_APP)
+        .expect("Supervise o Server applies");
+    let goal = format!("create({ring}, token(1))");
+    probs
+        .iter()
+        .map(|&p| {
+            let mut delivered = 0u64;
+            let mut completed = 0u32;
+            let mut makespan_sum = 0u64;
+            for &seed in seeds {
+                let plan = FaultPlan::default().drop_prob(p).seed(seed);
+                let cfg = MachineConfig::with_nodes(ring).seed(seed).faults(plan);
+                let r = run_parsed_goal(&prog, &goal, cfg).expect("supervised ring runs");
+                if r.report.status == RunStatus::Completed {
+                    completed += 1;
+                }
+                for k in 1..=ring {
+                    if r.report.output.contains(&k.to_string()) {
+                        delivered += 1;
+                    }
+                }
+                makespan_sum += r.report.metrics.makespan;
+            }
+            FaultSweepPoint {
+                drop_prob: p,
+                runs: seeds.len() as u32,
+                expected: ring as u64 * seeds.len() as u64,
+                delivered,
+                completed,
+                mean_makespan: makespan_sum as f64 / seeds.len() as f64,
+            }
+        })
+        .collect()
+}
+
+/// A2: the Supervise motif under message loss — delivery rate and makespan
+/// overhead vs. drop probability (ISSUE 3's fault sweep).
+pub fn a2_faults() -> Table {
+    let mut t = Table::new(
+        "A2: supervised ring under message loss (6 servers, 10 seeds/point)",
+        &[
+            "drop p",
+            "delivered",
+            "rate",
+            "completed",
+            "mean makespan",
+            "overhead",
+        ],
+    );
+    let seeds: Vec<u64> = (1..=10).collect();
+    let points = fault_sweep(6, &[0.0, 0.02, 0.05, 0.1, 0.2], &seeds);
+    let base = points[0].mean_makespan;
+    for pt in &points {
+        t.row(vec![
+            format!("{:.2}", pt.drop_prob),
+            format!("{}/{}", pt.delivered, pt.expected),
+            format!("{:.1}%", 100.0 * pt.delivery_rate()),
+            format!("{}/{}", pt.completed, pt.runs),
+            format!("{:.0}", pt.mean_makespan),
+            format!("{:.2}x", pt.mean_makespan / base),
+        ]);
+    }
+    t.note("Every send is acked with exponential-backoff retry; crashed or");
+    t.note("silent servers restart from their wire (at-least-once). Rate");
+    t.note("counts distinct tokens printed, so replays do not inflate it.");
+    t
+}
+
 /// The consultable archive (§1: motif libraries are *"archives of
 /// expertise that can be consulted, modified, and extended"*): named motif
 /// library sources for `motif-bench show <name>`.
 pub fn motif_source(name: &str) -> Option<(&'static str, String)> {
     Some(match name {
         "server" => ("Server (§3.2)", motifs::SERVER_LIBRARY.to_string()),
+        "supervise" => (
+            "Supervise (robustness: acked delivery, heartbeats, restart)",
+            motifs::SUPERVISE_LIBRARY.to_string(),
+        ),
         "tree1" => ("Tree1 (§3.4)", motifs::TREE1_LIBRARY.to_string()),
-        "tree-reduce-2" => ("Tree-Reduce-2 (§3.5 / Figure 7)", motifs::TREE2_LIBRARY.to_string()),
+        "tree-reduce-2" => (
+            "Tree-Reduce-2 (§3.5 / Figure 7)",
+            motifs::TREE2_LIBRARY.to_string(),
+        ),
         "scheduler" => (
             "Scheduler (ref [6])",
             motifs::scheduler::SCHEDULER_LIBRARY.to_string(),
@@ -893,7 +1065,10 @@ pub fn motif_source(name: &str) -> Option<(&'static str, String)> {
         "dc" => ("DivideAndConquer (§4)", motifs::dc::DC_LIBRARY.to_string()),
         "search" => ("Search (§4)", motifs::search::SEARCH_LIBRARY.to_string()),
         "grid" => ("Grid (§4)", motifs::grid::GRID_LIBRARY.to_string()),
-        "graph" => ("Graph components (§4)", motifs::graph::GRAPH_LIBRARY.to_string()),
+        "graph" => (
+            "Graph components (§4)",
+            motifs::graph::GRAPH_LIBRARY.to_string(),
+        ),
         "pipeline" => ("Pipeline", motifs::pipeline::PIPELINE_LIBRARY.to_string()),
         _ => return None,
     })
@@ -901,8 +1076,18 @@ pub fn motif_source(name: &str) -> Option<(&'static str, String)> {
 
 /// Names accepted by [`motif_source`].
 pub const MOTIF_SOURCES: &[&str] = &[
-    "server", "tree1", "tree-reduce-2", "scheduler", "scheduler-2", "sched", "dc", "search",
-    "grid", "graph", "pipeline",
+    "server",
+    "supervise",
+    "tree1",
+    "tree-reduce-2",
+    "scheduler",
+    "scheduler-2",
+    "sched",
+    "dc",
+    "search",
+    "grid",
+    "graph",
+    "pipeline",
 ];
 
 /// Run status sanity helper shared by tests.
@@ -912,9 +1097,26 @@ pub fn completed(r: &GoalResult) -> bool {
 
 /// Convenience: the names of all printable experiments.
 pub const EXPERIMENTS: &[&str] = &[
-    "fig1", "fig2", "fig4", "fig5", "fig7", "e1-balance", "e2-memory", "e2-memory-bytes",
-    "e3-comm", "e4-speedup", "e5-loc", "e6-compose", "e7-scheduler", "e8-seqalign", "e9-future",
-    "e10-pragma", "a1-latency", "e8-sim", "e1-threads",
+    "fig1",
+    "fig2",
+    "fig4",
+    "fig5",
+    "fig7",
+    "e1-balance",
+    "e2-memory",
+    "e2-memory-bytes",
+    "e3-comm",
+    "e4-speedup",
+    "e5-loc",
+    "e6-compose",
+    "e7-scheduler",
+    "e8-seqalign",
+    "e9-future",
+    "e10-pragma",
+    "a1-latency",
+    "a2-faults",
+    "e8-sim",
+    "e1-threads",
 ];
 
 /// Run one experiment by name, returning its rendered output.
@@ -937,6 +1139,7 @@ pub fn run_experiment(name: &str) -> Option<String> {
         "e9-future" => e9_future().render(),
         "e10-pragma" => e10_pragma().render(),
         "a1-latency" => a1_latency().render(),
+        "a2-faults" => a2_faults().render(),
         "e8-sim" => e8_sim().render(),
         "e1-threads" => e1_threads().render(),
         _ => return None,

@@ -11,7 +11,9 @@
 //! crossings, live bytes); on a single-core CI box wall-clock speedup is
 //! meaningless, and EXPERIMENTS.md says so.
 
+pub mod counting_alloc;
 pub mod experiments;
+pub mod machine_bench;
 pub mod table;
 
 pub use experiments::*;

@@ -121,7 +121,13 @@ mod tests {
         let p = divide_and_conquer().apply_src(MERGESORT_APP).unwrap();
         let goal = format!("create(6, dc({}, S))", int_list_src(&xs));
         let r = run_parsed_goal(&p, &goal, MachineConfig::with_nodes(6).seed(3)).unwrap();
-        let busy = r.report.metrics.reductions.iter().filter(|&&x| x > 100).count();
+        let busy = r
+            .report
+            .metrics
+            .reductions
+            .iter()
+            .filter(|&&x| x > 100)
+            .count();
         assert!(busy >= 4, "reductions {:?}", r.report.metrics.reductions);
     }
 }

@@ -137,7 +137,7 @@ pub fn edges_src(edges: &[(u32, u32)]) -> String {
 /// Reference implementation (union-find) for tests and experiments.
 pub fn components_reference(n: u32, edges: &[(u32, u32)]) -> Vec<u32> {
     let mut parent: Vec<u32> = (0..=n).collect();
-    fn find(parent: &mut Vec<u32>, x: u32) -> u32 {
+    fn find(parent: &mut [u32], x: u32) -> u32 {
         let mut root = x;
         while parent[root as usize] != root {
             root = parent[root as usize];
@@ -166,11 +166,18 @@ mod tests {
     use strand_machine::{run_parsed_goal, MachineConfig, RunStatus};
 
     fn components(n: u32, edges: &[(u32, u32)], servers: u32) -> Vec<u32> {
-        let p = graph_components().apply_src("noop(1).").expect("graph motif applies");
+        let p = graph_components()
+            .apply_src("noop(1).")
+            .expect("graph motif applies");
         let goal = format!("create({servers}, cc({n}, {}, Final))", edges_src(edges));
         let r = run_parsed_goal(&p, &goal, MachineConfig::with_nodes(servers).seed(1))
             .expect("components runs");
-        assert_eq!(r.report.status, RunStatus::Completed, "{:?}", r.report.suspended_goals);
+        assert_eq!(
+            r.report.status,
+            RunStatus::Completed,
+            "{:?}",
+            r.report.suspended_goals
+        );
         r.bindings["Final"]
             .as_proper_list()
             .expect("label list")

@@ -129,10 +129,7 @@ mod tests {
             let got = run_grid(n, t, 4);
             assert_eq!(got.len(), expected.len());
             for (g, e) in got.iter().zip(expected.iter()) {
-                assert!(
-                    (g - e).abs() < 1e-9,
-                    "n={n} t={t}: {got:?} vs {expected:?}"
-                );
+                assert!((g - e).abs() < 1e-9, "n={n} t={t}: {got:?} vs {expected:?}");
             }
         }
     }

@@ -48,6 +48,11 @@ pub fn inventory() -> Vec<InventoryRow> {
         ),
         row(&crate::rand_map::rand_map(), "", "{RandTransform, empty}"),
         row(
+            &crate::supervisor::supervise(),
+            crate::supervisor::SUPERVISE_LIBRARY,
+            "{SuperviseTransform, supervision library}",
+        ),
+        row(
             &crate::tree::tree1(),
             crate::tree::TREE1_LIBRARY,
             "{identity, 5-line library}",

@@ -17,6 +17,8 @@
 //! | [`tree::tree_reduce_1`] | §3.4 | `Server ∘ Rand ∘ Tree1` |
 //! | [`tree::tree_reduce_1_halting`] | §3.3 | `Server ∘ Rand ∘ Circuit ∘ Tree1` |
 //! | [`tree::tree_reduce_2`] | §3.5 | `Server ∘ TreeReduce2Core` |
+//! | [`supervisor::supervise`] | robustness | `{SuperviseTransform, supervision library}` |
+//! | [`supervisor::supervised_random`] | robustness | `Supervise ∘ Server ∘ Rand` |
 //! | [`scheduler::scheduler`] | §1, \[6\] | manager/worker task farm |
 //! | [`scheduler::scheduler_hierarchical`] | §1 | reuse-by-modification: two-level farm |
 //! | [`task_sched::task_scheduler`] | §2.2, \[6\] | `@task` pragma → demand-driven scheduler with circuit-tracked completion |
@@ -38,13 +40,19 @@ pub mod rand_map;
 pub mod scheduler;
 pub mod search;
 pub mod server;
+pub mod supervisor;
 pub mod task_sched;
 pub mod tree;
 
 pub use motif::Motif;
 pub use rand_map::{rand_map, rand_map_with_entries, random, random_with_entries, RandTransform};
 pub use server::{server, ServerTransform, SERVER_LIBRARY};
-pub use task_sched::{boot_goal, task_scheduler, task_scheduler_with_entries, SchedTransform, TASK_SCHED_LIBRARY};
+pub use supervisor::{
+    supervise, supervised_random, supervised_server, SuperviseTransform, SUPERVISE_LIBRARY,
+};
+pub use task_sched::{
+    boot_goal, task_scheduler, task_scheduler_with_entries, SchedTransform, TASK_SCHED_LIBRARY,
+};
 pub use tree::{
     balanced_tree_src, random_tree_src, sequential_reduce, tree1, tree_reduce_1,
     tree_reduce_1_halting, tree_reduce_2, ARITH_EVAL, TREE1_LIBRARY, TREE2_LIBRARY,

@@ -74,7 +74,10 @@ mod tests {
         // takes ~ (N + S) units, far below the serial N*S.
         let app = "stage(_, X, Y) :- work(100), Y := X.";
         let p = pipeline().apply_src(app).unwrap();
-        let goal = format!("pipe(4, {}, Out)", int_list_src(&(0..16).collect::<Vec<_>>()));
+        let goal = format!(
+            "pipe(4, {}, Out)",
+            int_list_src(&(0..16).collect::<Vec<_>>())
+        );
         let r = run_parsed_goal(&p, &goal, MachineConfig::with_nodes(4)).unwrap();
         assert_eq!(r.report.status, RunStatus::Completed);
         let serial = 16 * 4 * 100;

@@ -46,12 +46,6 @@ impl Transformation for RandTransform {
     }
 
     fn apply(&self, program: &Program) -> Result<Program, TransformError> {
-        if program.get("server", 1).is_some() {
-            return Err(TransformError::new(
-                "Rand",
-                "application already defines server/1; Rand synthesizes it",
-            ));
-        }
         // Collect the process types annotated @random.
         let mut types: BTreeSet<Key> = self.extra_entries.iter().cloned().collect();
         for rule in program.rules() {
@@ -67,6 +61,16 @@ impl Transformation for RandTransform {
                     }
                 }
             }
+        }
+        // An application that writes its own server/1 can still pass
+        // through Rand (the stage is then the identity, which keeps
+        // compositions like Supervise ∘ Server ∘ Rand applicable to both
+        // styles) — but it cannot also ask Rand to synthesize one.
+        if !types.is_empty() && program.get("server", 1).is_some() {
+            return Err(TransformError::new(
+                "Rand",
+                "application already defines server/1; Rand synthesizes it",
+            ));
         }
         // Step 1: replace P@random with nodes/rand_num/send.
         let mut out = replace_calls(program, &|call: &Call, fresh| {
@@ -131,7 +135,9 @@ mod tests {
 
     #[test]
     fn pragma_becomes_nodes_rand_send() {
-        let out = RandTransform::new().apply(&parse_program(APP).unwrap()).unwrap();
+        let out = RandTransform::new()
+            .apply(&parse_program(APP).unwrap())
+            .unwrap();
         let s = pretty(&out);
         assert!(s.contains("nodes(N3)"), "{s}");
         assert!(s.contains("rand_num(N3, R)"), "{s}");
@@ -159,14 +165,26 @@ mod tests {
         assert!(matches!(r.report.status, RunStatus::Quiescent { .. }));
         assert_eq!(r.bindings["V"].to_string(), "55");
         // Work actually spread across nodes.
-        let busy_nodes = r.report.metrics.reductions.iter().filter(|&&x| x > 1).count();
-        assert!(busy_nodes >= 2, "reductions: {:?}", r.report.metrics.reductions);
+        let busy_nodes = r
+            .report
+            .metrics
+            .reductions
+            .iter()
+            .filter(|&&x| x > 1)
+            .count();
+        assert!(
+            busy_nodes >= 2,
+            "reductions: {:?}",
+            r.report.metrics.reductions
+        );
     }
 
     #[test]
     fn rejects_programs_that_define_server() {
         let src = "server([x|_]). f(X) :- g(X)@random. g(_).";
-        let e = RandTransform::new().apply(&parse_program(src).unwrap()).unwrap_err();
+        let e = RandTransform::new()
+            .apply(&parse_program(src).unwrap())
+            .unwrap_err();
         assert!(e.message.contains("server/1"));
     }
 
@@ -183,7 +201,9 @@ mod tests {
 
     #[test]
     fn unannotated_programs_pass_through_with_halt_server() {
-        let out = RandTransform::new().apply(&parse_program("f(1).").unwrap()).unwrap();
+        let out = RandTransform::new()
+            .apply(&parse_program("f(1).").unwrap())
+            .unwrap();
         let s = pretty(&out);
         assert!(s.contains("server([halt|_])."), "{s}");
         assert!(out.get("f", 1).is_some());

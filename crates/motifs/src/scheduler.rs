@@ -185,10 +185,7 @@ mod tests {
 
     fn run_farm(costs: &[u64], nodes: u32, seed: u64) -> strand_machine::GoalResult {
         let p = scheduler().apply_src(BURN_TASK).unwrap();
-        let goal = format!(
-            "create({nodes}, start({}, Results))",
-            tasks_src(costs)
-        );
+        let goal = format!("create({nodes}, start({}, Results))", tasks_src(costs));
         run_parsed_goal(&p, &goal, MachineConfig::with_nodes(nodes).seed(seed)).unwrap()
     }
 
@@ -229,14 +226,18 @@ mod tests {
         // One giant task plus many small ones: demand-driven dispatch keeps
         // other workers busy with the small tasks.
         let mut costs = vec![2000u64];
-        costs.extend(std::iter::repeat(50).take(40));
+        costs.extend(std::iter::repeat_n(50, 40));
         let r = run_farm(&costs, 4, 2);
         assert_eq!(r.report.status, RunStatus::Completed);
         let m = &r.report.metrics;
         // The makespan must be far below the serial sum, and within ~3x of
         // the critical path (the giant task).
         let serial: u64 = costs.iter().sum();
-        assert!(m.makespan < serial, "makespan {} vs serial {serial}", m.makespan);
+        assert!(
+            m.makespan < serial,
+            "makespan {} vs serial {serial}",
+            m.makespan
+        );
         assert!(m.makespan < 3 * 2000, "makespan {}", m.makespan);
     }
 

@@ -97,10 +97,7 @@ impl Transformation for ServerTransform {
         // Steps 2-4: rewrite operations while threading DT.
         let (out, violations) = thread_argument(program, &targets, "DT", &rewrite_op);
         if !violations.is_empty() {
-            let names: Vec<String> = violations
-                .iter()
-                .map(|(n, a)| format!("{n}/{a}"))
-                .collect();
+            let names: Vec<String> = violations.iter().map(|(n, a)| format!("{n}/{a}")).collect();
             return Err(TransformError::new(
                 NAME,
                 format!(
@@ -126,7 +123,12 @@ fn rewrite_op(call: &Call, dt: &Ast, _fresh: &mut FreshVars) -> Option<Vec<Call>
         ))]),
         ("send", 3) => Some(vec![Call::new(Ast::tuple(
             "distribute",
-            vec![args[0].clone(), dt.clone(), args[1].clone(), args[2].clone()],
+            vec![
+                args[0].clone(),
+                dt.clone(),
+                args[1].clone(),
+                args[2].clone(),
+            ],
         ))]),
         // Step 3: nodes(N) → length(DT, N).
         ("nodes", 1) => Some(vec![Call::new(Ast::tuple(
@@ -144,8 +146,7 @@ fn rewrite_op(call: &Call, dt: &Ast, _fresh: &mut FreshVars) -> Option<Vec<Call>
 
 /// The Server motif: `{ServerTransform, SERVER_LIBRARY}`.
 pub fn server() -> Motif {
-    let library = strand_parse::parse_program(SERVER_LIBRARY)
-        .expect("server library parses");
+    let library = strand_parse::parse_program(SERVER_LIBRARY).expect("server library parses");
     Motif::new(NAME, ServerTransform, library)
 }
 
@@ -167,7 +168,9 @@ mod tests {
 
     #[test]
     fn transformation_threads_dt_and_rewrites_ops() {
-        let out = ServerTransform.apply(&strand_parse::parse_program(RING).unwrap()).unwrap();
+        let out = ServerTransform
+            .apply(&strand_parse::parse_program(RING).unwrap())
+            .unwrap();
         let s = pretty(&out);
         assert!(s.contains("server([token(K)|In], DT)"), "{s}");
         assert!(s.contains("server(In, DT)"), "{s}");
@@ -188,12 +191,8 @@ mod tests {
     fn ring_token_visits_every_server() {
         let p = server().apply_src(RING).unwrap();
         for n in [1u32, 2, 4, 8] {
-            let r = run_parsed_goal(
-                &p,
-                "create(4, token(1))",
-                MachineConfig::with_nodes(n),
-            )
-            .unwrap();
+            let r =
+                run_parsed_goal(&p, "create(4, token(1))", MachineConfig::with_nodes(n)).unwrap();
             assert_eq!(
                 r.report.status,
                 RunStatus::Completed,

@@ -154,10 +154,7 @@ impl Transformation for SchedTransform {
         // closes at the submit site).
         let targets: BTreeSet<Key> = program.defined_keys().into_iter().collect();
         let threaded_global = thread_circuit(program, &targets);
-        let targets2: BTreeSet<Key> = targets
-            .iter()
-            .map(|(n, a)| (n.clone(), a + 2))
-            .collect();
+        let targets2: BTreeSet<Key> = targets.iter().map(|(n, a)| (n.clone(), a + 2)).collect();
         let threaded = thread_circuit(&threaded_global, &targets2);
 
         // Expand `Goal@task`: goals now carry [core..., Lg, Rg, Ll, Rl].
@@ -280,7 +277,10 @@ mod tests {
         let out = SchedTransform::new().apply(&p).unwrap();
         let s = pretty(&out);
         assert!(!s.contains("@task"), "{s}");
-        assert!(s.contains("send(1, submit(fib(N1, V1, Dg, done, Dl, done), Dl))"), "{s}");
+        assert!(
+            s.contains("send(1, submit(fib(N1, V1, Dg, done, Dl, done), Dl))"),
+            "{s}"
+        );
         assert!(s.contains("link(Dg,"), "{s}");
         // Dispatch rule for the doubly-threaded task type fib/6.
         assert!(
@@ -295,7 +295,12 @@ mod tests {
         let program = task_scheduler().apply_src(FIB_APP).unwrap();
         let goal = boot_goal(4, "fib", &["10", "V"]);
         let r = run_parsed_goal(&program, &goal, MachineConfig::with_nodes(4).seed(3)).unwrap();
-        assert_eq!(r.report.status, RunStatus::Completed, "{:?}", r.report.suspended_goals);
+        assert_eq!(
+            r.report.status,
+            RunStatus::Completed,
+            "{:?}",
+            r.report.suspended_goals
+        );
         assert_eq!(r.bindings["V"].to_string(), "55");
     }
 

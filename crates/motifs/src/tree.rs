@@ -49,7 +49,9 @@ pub fn tree1() -> Motif {
 /// [`tree_reduce_1_halting`]).
 pub fn tree_reduce_1() -> Motif {
     // reduce/2 is both the @random-shipped type and the initial message.
-    server().compose(&rand_map_with_entries(&[])).compose(&tree1())
+    server()
+        .compose(&rand_map_with_entries(&[]))
+        .compose(&tree1())
 }
 
 /// `Tree-Reduce-1` extended with short-circuit termination detection
@@ -228,7 +230,11 @@ pub fn balanced_tree_src(depth: u32) -> String {
         if depth == 0 {
             "leaf(1)".to_string()
         } else {
-            let op = if level % 2 == 0 { "'+'" } else { "'*'" };
+            let op = if level.is_multiple_of(2) {
+                "'+'"
+            } else {
+                "'*'"
+            };
             format!(
                 "tree({op}, {}, {})",
                 go(depth - 1, level + 1),
@@ -251,7 +257,11 @@ pub fn random_tree_src(leaves: u32, seed: u64) -> String {
             format!("leaf({})", (*counter % 10) + 1)
         } else {
             let left = 1 + rng.next_below((leaves - 1) as u64) as u32;
-            let op = if rng.next_below(2) == 0 { "'+'" } else { "'max'" };
+            let op = if rng.next_below(2) == 0 {
+                "'+'"
+            } else {
+                "'max'"
+            };
             format!(
                 "tree({op}, {}, {})",
                 go(left, rng, counter),
@@ -354,7 +364,12 @@ mod tests {
                     tree('+', tree('+', leaf(2), leaf(1)), leaf(1)))";
         let goal = format!("create(4, tr2({tree}, Value))");
         let r = run_parsed_goal(&program, &goal, MachineConfig::with_nodes(4).seed(5)).unwrap();
-        assert_eq!(r.report.status, RunStatus::Completed, "{:?}", r.report.suspended_goals);
+        assert_eq!(
+            r.report.status,
+            RunStatus::Completed,
+            "{:?}",
+            r.report.suspended_goals
+        );
         assert_eq!(r.bindings["Value"].to_string(), "24");
     }
 
@@ -384,7 +399,11 @@ mod tests {
                 MachineConfig::with_nodes(3).seed(seed),
             )
             .unwrap();
-            assert_eq!(r1.bindings["Value"].to_string(), expected, "TR1 seed {seed}");
+            assert_eq!(
+                r1.bindings["Value"].to_string(),
+                expected,
+                "TR1 seed {seed}"
+            );
             let p2 = tree_reduce_2().apply_src(ARITH_EVAL).unwrap();
             let r2 = run_parsed_goal(
                 &p2,
@@ -392,7 +411,11 @@ mod tests {
                 MachineConfig::with_nodes(3).seed(seed),
             )
             .unwrap();
-            assert_eq!(r2.bindings["Value"].to_string(), expected, "TR2 seed {seed}");
+            assert_eq!(
+                r2.bindings["Value"].to_string(),
+                expected,
+                "TR2 seed {seed}"
+            );
         }
     }
 

@@ -98,7 +98,11 @@ pub fn align_profiles_affine(a: &Profile, b: &Profile, p: &AffineParams) -> Alig
                 tx[idx(i, j)] = 1;
             } else {
                 sx[idx(i, j)] = open;
-                tx[idx(i, j)] = if sm[idx(i - 1, j)] >= sy[idx(i - 1, j)] { 0 } else { 2 };
+                tx[idx(i, j)] = if sm[idx(i - 1, j)] >= sy[idx(i - 1, j)] {
+                    0
+                } else {
+                    2
+                };
             }
             // y layer: consume b[j-1] against a gap.
             let open = sm[idx(i, j - 1)].max(sx[idx(i, j - 1)]) + p.gap_open;
@@ -108,7 +112,11 @@ pub fn align_profiles_affine(a: &Profile, b: &Profile, p: &AffineParams) -> Alig
                 ty[idx(i, j)] = 2;
             } else {
                 sy[idx(i, j)] = open;
-                ty[idx(i, j)] = if sm[idx(i, j - 1)] >= sx[idx(i, j - 1)] { 0 } else { 1 };
+                ty[idx(i, j)] = if sm[idx(i, j - 1)] >= sx[idx(i, j - 1)] {
+                    0
+                } else {
+                    1
+                };
             }
         }
     }
@@ -207,7 +215,10 @@ mod tests {
     fn one_profile_empty() {
         let p = AffineParams::default();
         let a = profile("ACGU");
-        let empty = Profile { cols: vec![], seqs: 1 };
+        let empty = Profile {
+            cols: vec![],
+            seqs: 1,
+        };
         let out = align_profiles_affine(&a, &empty, &p);
         assert_eq!(out.profile.len(), 4);
         let expected = p.gap_open + 3.0 * p.gap_extend;
@@ -241,7 +252,9 @@ mod tests {
         let guide = guide_tree(&fam.sequences, &crate::align::ScoreParams::default());
         let tree = alignment_tree(&guide, &fam.sequences);
         let p = AffineParams::default();
-        let profile = reduce_seq(&tree, &move |_, a, b| align_profiles_affine(&a, &b, &p).profile);
+        let profile = reduce_seq(&tree, &move |_, a, b| {
+            align_profiles_affine(&a, &b, &p).profile
+        });
         assert_eq!(profile.seqs, 6);
         assert!(profile.column_identity() > 0.7);
     }

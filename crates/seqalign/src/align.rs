@@ -237,12 +237,7 @@ mod tests {
         let out = align_profiles(&a, &b, &p);
         assert_eq!(out.profile.len(), 5);
         // Exactly one column carries gap mass from `a`.
-        let gappy = out
-            .profile
-            .cols
-            .iter()
-            .filter(|c| c[4] > 0.0)
-            .count();
+        let gappy = out.profile.cols.iter().filter(|c| c[4] > 0.0).count();
         assert_eq!(gappy, 1);
     }
 

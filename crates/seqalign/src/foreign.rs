@@ -18,16 +18,11 @@ use strand_machine::Machine;
 
 /// Encode a profile as a term.
 pub fn profile_to_term(p: &Profile) -> Term {
-    let cols = p.cols.iter().map(|c| {
-        Term::tuple(
-            "col",
-            c.iter().map(|x| Term::float(*x as f64)).collect(),
-        )
-    });
-    Term::tuple(
-        "profile",
-        vec![Term::int(p.seqs as i64), Term::list(cols)],
-    )
+    let cols = p
+        .cols
+        .iter()
+        .map(|c| Term::tuple("col", c.iter().map(|x| Term::float(*x as f64)).collect()));
+    Term::tuple("profile", vec![Term::int(p.seqs as i64), Term::list(cols)])
 }
 
 /// Decode a profile term (or promote a sequence string).
@@ -50,9 +45,7 @@ pub fn term_to_profile(t: &Term) -> StrandResult<Profile> {
             for ct in col_terms {
                 let parts = match &ct {
                     Term::Tuple(n, parts) if n.as_str() == "col" && parts.len() == 5 => parts,
-                    other => {
-                        return Err(StrandError::Other(format!("bad column term: {other}")))
-                    }
+                    other => return Err(StrandError::Other(format!("bad column term: {other}"))),
                 };
                 let mut col = [0.0f32; 5];
                 for (i, p) in parts.iter().enumerate() {
@@ -60,9 +53,7 @@ pub fn term_to_profile(t: &Term) -> StrandResult<Profile> {
                         Term::Float(x) => *x as f32,
                         Term::Int(i) => *i as f32,
                         other => {
-                            return Err(StrandError::Other(format!(
-                                "bad column entry: {other}"
-                            )))
+                            return Err(StrandError::Other(format!("bad column entry: {other}")))
                         }
                     };
                 }
@@ -94,10 +85,7 @@ pub fn register_align_node(machine: &mut Machine, params: ScoreParams, cost_divi
 /// leaves are the sequence strings: `tree(n, leaf("ACGU…"), …)`.
 pub fn guide_tree_src(tree: &Phylo, seqs: &[Vec<u8>]) -> String {
     match tree {
-        Phylo::Leaf(i) => format!(
-            "leaf(\"{}\")",
-            String::from_utf8_lossy(&seqs[*i])
-        ),
+        Phylo::Leaf(i) => format!("leaf(\"{}\")", String::from_utf8_lossy(&seqs[*i])),
         Phylo::Node(l, r) => format!(
             "tree(n, {}, {})",
             guide_tree_src(l, seqs),
@@ -118,7 +106,7 @@ mod tests {
     use crate::rna::{generate_family, FamilyParams};
     use crate::upgma::guide_tree;
     use strand_machine::{ast_to_term, MachineConfig, RunStatus};
-    use strand_parse::{compile_program, parse_program, parse_term};
+    use strand_parse::{compile_program, parse_term};
 
     #[test]
     fn profile_term_roundtrip() {
@@ -133,7 +121,9 @@ mod tests {
     #[test]
     fn bad_terms_are_rejected() {
         assert!(term_to_profile(&Term::int(3)).is_err());
-        assert!(term_to_profile(&Term::tuple("profile", vec![Term::int(1), Term::int(2)])).is_err());
+        assert!(
+            term_to_profile(&Term::tuple("profile", vec![Term::int(1), Term::int(2)])).is_err()
+        );
     }
 
     fn run_sim_msa(

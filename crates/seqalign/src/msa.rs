@@ -18,11 +18,7 @@ use skeletons::tree::{reduce, reduce_seq, Labeling, ReduceOutcome, Tree};
 pub fn alignment_tree(tree: &Phylo, seqs: &[Vec<u8>]) -> Tree<Profile, ()> {
     match tree {
         Phylo::Leaf(i) => Tree::Leaf(Profile::from_sequence(&seqs[*i])),
-        Phylo::Node(l, r) => Tree::node(
-            (),
-            alignment_tree(l, seqs),
-            alignment_tree(r, seqs),
-        ),
+        Phylo::Node(l, r) => Tree::node((), alignment_tree(l, seqs), alignment_tree(r, seqs)),
     }
 }
 
@@ -31,7 +27,9 @@ pub fn align_family_seq(seqs: &[Vec<u8>], p: &ScoreParams) -> Profile {
     let guide = guide_tree(seqs, p);
     let tree = alignment_tree(&guide, seqs);
     let params = *p;
-    reduce_seq(&tree, &move |_, a, b| align_profiles(&a, &b, &params).profile)
+    reduce_seq(&tree, &move |_, a, b| {
+        align_profiles(&a, &b, &params).profile
+    })
 }
 
 /// Parallel progressive alignment under a tree-reduction labeling.

@@ -77,7 +77,9 @@ pub struct Family {
 
 /// Generate a random sequence of the given length.
 pub fn random_sequence(len: usize, rng: &mut SplitMix64) -> Vec<u8> {
-    (0..len).map(|_| BASES[rng.next_below(4) as usize]).collect()
+    (0..len)
+        .map(|_| BASES[rng.next_below(4) as usize])
+        .collect()
 }
 
 fn mutate(seq: &[u8], params: &FamilyParams, rng: &mut SplitMix64) -> Vec<u8> {

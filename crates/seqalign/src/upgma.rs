@@ -25,6 +25,8 @@ pub fn distance_matrix(seqs: &[Vec<u8>], p: &ScoreParams) -> Vec<Vec<f64>> {
 
 /// UPGMA clustering over a distance matrix; returns a binary guide tree
 /// whose leaves are sequence indices.
+// Paired index loops over the triangular matrix are the clearest form here.
+#[allow(clippy::needless_range_loop)]
 pub fn upgma(dist: &[Vec<f64>]) -> Phylo {
     let n = dist.len();
     assert!(n >= 1, "need at least one sequence");
@@ -172,6 +174,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn distance_matrix_is_symmetric_zero_diagonal() {
         let fam = generate_family(&FamilyParams {
             leaves: 5,

@@ -172,7 +172,9 @@ mod tests {
 
     fn random_vec(n: usize, seed: u64) -> Vec<i64> {
         let mut rng = SplitMix64::new(seed);
-        (0..n).map(|_| rng.next_below(1_000_000) as i64 - 500_000).collect()
+        (0..n)
+            .map(|_| rng.next_below(1_000_000) as i64 - 500_000)
+            .collect()
     }
 
     #[test]

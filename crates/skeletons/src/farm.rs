@@ -44,8 +44,7 @@ where
     let n = tasks.len();
     let workers = pool.workers();
     let f = Arc::new(f);
-    let results: Arc<Vec<Mutex<Option<R>>>> =
-        Arc::new((0..n).map(|_| Mutex::new(None)).collect());
+    let results: Arc<Vec<Mutex<Option<R>>>> = Arc::new((0..n).map(|_| Mutex::new(None)).collect());
     let group = TaskGroup::new();
     let mut rng = match policy {
         Policy::Random(seed) => Some(SplitMix64::new(seed)),
@@ -71,23 +70,31 @@ where
             }
             Policy::StaticCyclic => pool.spawn_at(i % workers, job),
             Policy::Random(_) => {
-                let w = rng.as_mut().expect("rng present").next_below(workers as u64);
+                let w = rng
+                    .as_mut()
+                    .expect("rng present")
+                    .next_below(workers as u64);
                 pool.spawn_at(w as usize, job);
             }
             Policy::Demand | Policy::Stealing => pool.spawn(job),
         }
     }
     group.wait();
+    // A panicked task leaves its slot empty (the pool contains the panic
+    // and its ticket completes on unwind, so wait() returned normally);
+    // surface that as a caller-side panic rather than a hang or a corrupt
+    // result vector.
+    let missing = "farm task panicked before producing a result";
     match Arc::try_unwrap(results) {
         Ok(v) => v
             .into_iter()
-            .map(|slot| slot.into_inner().expect("every task produced a result"))
+            .map(|slot| slot.into_inner().expect(missing))
             .collect(),
         // A worker may still hold its clone for an instant after the last
         // ticket fired; take the values through the locks instead.
         Err(arc) => arc
             .iter()
-            .map(|slot| slot.lock().take().expect("every task produced a result"))
+            .map(|slot| slot.lock().take().expect(missing))
             .collect(),
     }
 }
@@ -176,9 +183,12 @@ mod tests {
     fn random_policy_is_deterministic_per_seed() {
         let pool = Pool::new(4, false);
         let run = |seed| {
-            farm(&pool, Policy::Random(seed), (0..32).collect(), |_: usize| {
-                std::thread::current().name().unwrap_or("").to_string()
-            })
+            farm(
+                &pool,
+                Policy::Random(seed),
+                (0..32).collect(),
+                |_: usize| std::thread::current().name().unwrap_or("").to_string(),
+            )
         };
         assert_eq!(run(5), run(5));
         pool.shutdown();
@@ -209,11 +219,38 @@ mod tests {
     }
 
     #[test]
+    fn panicking_task_fails_the_farm_but_not_the_pool() {
+        let pool = Pool::new(2, false);
+        let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            farm(&pool, Policy::Demand, (0..8u64).collect(), |x| {
+                if x == 3 {
+                    panic!("bad task");
+                }
+                x
+            })
+        }));
+        assert!(attempt.is_err(), "the failure must reach the caller");
+        // The worker bumps its panic counter just after the unwind that
+        // released wait(); give it a moment.
+        for _ in 0..1000 {
+            if pool.stats().iter().map(|s| s.panics).sum::<u64>() == 1 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(pool.stats().iter().map(|s| s.panics).sum::<u64>(), 1);
+        // The pool survives for the next farm.
+        let out = farm(&pool, Policy::Demand, (0..8u64).collect(), |x| x + 1);
+        assert_eq!(out, (1..=8u64).collect::<Vec<_>>());
+        pool.shutdown();
+    }
+
+    #[test]
     fn demand_policy_balances_skewed_costs() {
         let pool = Pool::new(4, false);
         // One long task and many short ones.
         let mut costs = vec![20_000u64];
-        costs.extend(std::iter::repeat(200).take(60));
+        costs.extend(std::iter::repeat_n(200, 60));
         let _ = farm(&pool, Policy::Demand, costs, |c| {
             let t = std::time::Instant::now();
             while t.elapsed().as_micros() < c as u128 {
@@ -223,7 +260,10 @@ mod tests {
         });
         let stats = pool.stats();
         let active = stats.iter().filter(|s| s.tasks > 0).count();
-        assert!(active >= 3, "demand farm should use several workers: {stats:?}");
+        assert!(
+            active >= 3,
+            "demand farm should use several workers: {stats:?}"
+        );
         pool.shutdown();
     }
 }

@@ -17,13 +17,7 @@ where
 
 /// Fold chunks in parallel with `fold`, then combine partials with
 /// `combine`. `combine` must be associative; `identity` is its unit.
-pub fn par_reduce<T, A, FF, CF>(
-    pool: &Pool,
-    items: Vec<T>,
-    identity: A,
-    fold: FF,
-    combine: CF,
-) -> A
+pub fn par_reduce<T, A, FF, CF>(pool: &Pool, items: Vec<T>, identity: A, fold: FF, combine: CF) -> A
 where
     T: Send + 'static,
     A: Clone + Send + 'static,
@@ -88,7 +82,13 @@ mod tests {
     #[test]
     fn reduce_sums() {
         let pool = Pool::new(4, true);
-        let sum = par_reduce(&pool, (1..=10_000i64).collect(), 0i64, |a, x| a + x, |a, b| a + b);
+        let sum = par_reduce(
+            &pool,
+            (1..=10_000i64).collect(),
+            0i64,
+            |a, x| a + x,
+            |a, b| a + b,
+        );
         assert_eq!(sum, 50_005_000);
         pool.shutdown();
     }

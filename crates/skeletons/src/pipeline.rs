@@ -17,10 +17,7 @@ pub struct Pipeline<T: Send + 'static> {
 impl<T: Send + 'static> Pipeline<T> {
     /// Build a pipeline from stage functions; `capacity` bounds each
     /// inter-stage channel (back-pressure).
-    pub fn new(
-        stages: Vec<Box<dyn FnMut(T) -> T + Send>>,
-        capacity: usize,
-    ) -> Pipeline<T> {
+    pub fn new(stages: Vec<Box<dyn FnMut(T) -> T + Send>>, capacity: usize) -> Pipeline<T> {
         assert!(!stages.is_empty(), "pipeline needs at least one stage");
         let (input, mut upstream) = bounded::<T>(capacity);
         let mut handles = Vec::with_capacity(stages.len());

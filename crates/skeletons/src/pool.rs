@@ -28,6 +28,7 @@ pub struct WorkerStats {
     pub tasks: AtomicU64,
     pub busy_nanos: AtomicU64,
     pub steals: AtomicU64,
+    pub panics: AtomicU64,
 }
 
 /// Snapshot of one worker's counters.
@@ -36,6 +37,7 @@ pub struct WorkerSnapshot {
     pub tasks: u64,
     pub busy_nanos: u64,
     pub steals: u64,
+    pub panics: u64,
 }
 
 struct Shared {
@@ -119,6 +121,7 @@ impl Pool {
                 tasks: s.tasks.load(Ordering::Relaxed),
                 busy_nanos: s.busy_nanos.load(Ordering::Relaxed),
                 steals: s.steals.load(Ordering::Relaxed),
+                panics: s.panics.load(Ordering::Relaxed),
             })
             .collect()
     }
@@ -159,8 +162,16 @@ fn worker_loop(shared: Arc<Shared>, me: usize, local: Worker<Job>) {
     loop {
         if let Some(job) = find_job(&shared, me, &local) {
             let start = Instant::now();
-            job();
+            // A panicking job must not take the worker thread down with it:
+            // queued work behind it (pinned there when stealing is off)
+            // would never run and `TaskGroup::wait` would hang. The job's
+            // captured state (tickets, result slots) unwinds normally, so
+            // completion still fires via `Ticket::drop`.
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
             let stats = &shared.stats[me];
+            if outcome.is_err() {
+                stats.panics.fetch_add(1, Ordering::Relaxed);
+            }
             stats.tasks.fetch_add(1, Ordering::Relaxed);
             stats
                 .busy_nanos
@@ -175,9 +186,7 @@ fn worker_loop(shared: Arc<Shared>, me: usize, local: Worker<Job>) {
             continue;
         }
         let mut guard = shared.sleep_lock.lock();
-        shared
-            .wakeup
-            .wait_for(&mut guard, Duration::from_millis(1));
+        shared.wakeup.wait_for(&mut guard, Duration::from_millis(1));
     }
 }
 
@@ -414,6 +423,36 @@ mod tests {
         }
         pool.shutdown();
         assert_eq!(counter.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    fn panicking_job_neither_kills_worker_nor_hangs_wait() {
+        // One worker, no stealing: if the panic killed the thread, the
+        // jobs queued behind it could never run and wait() would hang.
+        let pool = Pool::new(1, false);
+        let group = TaskGroup::new();
+        let counter = Arc::new(AtomicU32::new(0));
+        let t = group.add();
+        pool.spawn_at(0, move || {
+            let _t = t;
+            panic!("task failure is survivable");
+        });
+        for _ in 0..10 {
+            let c = Arc::clone(&counter);
+            let t = group.add();
+            pool.spawn_at(0, move || {
+                c.fetch_add(1, Ordering::SeqCst);
+                t.done();
+            });
+        }
+        group.wait();
+        assert_eq!(counter.load(Ordering::SeqCst), 10);
+        // Join workers before reading stats: the final ticket fires inside
+        // the job, a moment before that job's counter update.
+        pool.shutdown();
+        let stats = pool.stats();
+        assert_eq!(stats[0].panics, 1, "{stats:?}");
+        assert_eq!(stats[0].tasks, 11, "panicked job still counts as run");
     }
 
     #[test]

@@ -70,9 +70,7 @@ pub struct Grid2d {
 impl Grid2d {
     /// Build from a generator function.
     pub fn from_fn(rows: usize, cols: usize, f: impl Fn(usize, usize) -> f64) -> Grid2d {
-        let data = (0..rows * cols)
-            .map(|k| f(k / cols, k % cols))
-            .collect();
+        let data = (0..rows * cols).map(|k| f(k / cols, k % cols)).collect();
         Grid2d { rows, cols, data }
     }
 

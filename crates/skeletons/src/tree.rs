@@ -141,7 +141,12 @@ fn flatten<V, O>(tree: Tree<V, O>) -> Result<FlatTree<V, O>, V> {
 }
 
 /// Returns the internal-node index created (None for leaves).
-fn walk<V, O>(tree: Tree<V, O>, parent: usize, side: u8, flat: &mut FlatTree<V, O>) -> Option<usize> {
+fn walk<V, O>(
+    tree: Tree<V, O>,
+    parent: usize,
+    side: u8,
+    flat: &mut FlatTree<V, O>,
+) -> Option<usize> {
     match tree {
         Tree::Leaf(v) => {
             flat.leaf_feeds.push((parent, side, v));
@@ -248,7 +253,9 @@ where
         parent: flat.parent,
         side: flat.side,
         labels,
-        slots: (0..n).map(|_| [Mutex::new(None), Mutex::new(None)]).collect(),
+        slots: (0..n)
+            .map(|_| [Mutex::new(None), Mutex::new(None)])
+            .collect(),
         arrived: (0..n).map(|_| AtomicU8::new(0)).collect(),
         live: AtomicI64::new(0),
         peak: AtomicI64::new(0),
@@ -279,9 +286,15 @@ where
         value,
         peak_live_bytes: engine.peak.load(Ordering::SeqCst).max(0) as usize,
         cross_child_values,
-        evals_per_worker: engine.evals.iter().map(|e| e.load(Ordering::SeqCst)).collect(),
+        evals_per_worker: engine
+            .evals
+            .iter()
+            .map(|e| e.load(Ordering::SeqCst))
+            .collect(),
     }
 }
+
+type EvalFn<V, O> = Box<dyn Fn(&O, V, V) -> V + Send + Sync>;
 
 struct Engine<V, O> {
     ops: Vec<O>,
@@ -294,7 +307,7 @@ struct Engine<V, O> {
     peak: AtomicI64,
     evals: Vec<AtomicU64>,
     result: Mutex<Option<V>>,
-    eval: Box<dyn Fn(&O, V, V) -> V + Send + Sync>,
+    eval: EvalFn<V, O>,
     pool: Pool,
     group: TaskGroup,
     tickets: Mutex<Vec<crate::pool::Ticket>>,
@@ -370,12 +383,21 @@ mod tests {
     use super::*;
 
     fn check_all_labelings(leaves: usize, seed: u64, workers: usize) {
-        let expected = reduce_seq(&random_int_tree(leaves, seed), &|op, l, r| int_eval(op, l, r));
-        for labeling in [Labeling::Random(seed), Labeling::Paper(seed), Labeling::Static] {
+        let expected = reduce_seq(&random_int_tree(leaves, seed), &|op, l, r| {
+            int_eval(op, l, r)
+        });
+        for labeling in [
+            Labeling::Random(seed),
+            Labeling::Paper(seed),
+            Labeling::Static,
+        ] {
             let pool = Pool::new(workers, false);
-            let out = reduce(&pool, random_int_tree(leaves, seed), labeling, |op, l, r| {
-                int_eval(op, l, r)
-            });
+            let out = reduce(
+                &pool,
+                random_int_tree(leaves, seed),
+                labeling,
+                |op, l, r| int_eval(op, l, r),
+            );
             assert_eq!(out.value, expected, "labeling {labeling:?} seed {seed}");
             assert_eq!(
                 out.evals_per_worker.iter().sum::<u64>(),
@@ -395,7 +417,12 @@ mod tests {
     #[test]
     fn single_leaf_tree() {
         let pool = Pool::new(2, false);
-        let out = reduce(&pool, Tree::<i64, char>::Leaf(7), Labeling::Static, |_, _, _| 0);
+        let out = reduce(
+            &pool,
+            Tree::<i64, char>::Leaf(7),
+            Labeling::Static,
+            |_, _, _| 0,
+        );
         assert_eq!(out.value, 7);
         assert_eq!(out.cross_child_values, 0);
         pool.shutdown();
@@ -415,13 +442,13 @@ mod tests {
                 &pool,
                 random_int_tree(leaves, seed),
                 Labeling::Paper(seed),
-                |op, l, r| int_eval(op, l, r),
+                int_eval,
             );
             let random = reduce(
                 &pool,
                 random_int_tree(leaves, seed),
                 Labeling::Random(seed),
-                |op, l, r| int_eval(op, l, r),
+                int_eval,
             );
             assert!(
                 paper.cross_child_values * 2 <= internal,

@@ -95,11 +95,25 @@ pub fn eval_arith(expr: &Term, store: &Store) -> StrandResult<Evaled> {
             if !pending.is_empty() {
                 return Ok(Evaled::Suspend(pending));
             }
-            let bad = || StrandError::ArithType { expr: store.resolve(expr) };
+            let bad = || StrandError::ArithType {
+                expr: store.resolve(expr),
+            };
             match (op.as_str(), nums.as_slice()) {
-                ("+", [a, b]) => Ok(Evaled::Num(a.binop(*b, |x, y| x.wrapping_add(y), |x, y| x + y))),
-                ("-", [a, b]) => Ok(Evaled::Num(a.binop(*b, |x, y| x.wrapping_sub(y), |x, y| x - y))),
-                ("*", [a, b]) => Ok(Evaled::Num(a.binop(*b, |x, y| x.wrapping_mul(y), |x, y| x * y))),
+                ("+", [a, b]) => Ok(Evaled::Num(a.binop(
+                    *b,
+                    |x, y| x.wrapping_add(y),
+                    |x, y| x + y,
+                ))),
+                ("-", [a, b]) => Ok(Evaled::Num(a.binop(
+                    *b,
+                    |x, y| x.wrapping_sub(y),
+                    |x, y| x - y,
+                ))),
+                ("*", [a, b]) => Ok(Evaled::Num(a.binop(
+                    *b,
+                    |x, y| x.wrapping_mul(y),
+                    |x, y| x * y,
+                ))),
                 ("-", [a]) => Ok(Evaled::Num(match a {
                     Num::Int(i) => Num::Int(-i),
                     Num::Float(x) => Num::Float(-x),
@@ -149,7 +163,13 @@ pub fn is_arith_expr(t: &Term) -> bool {
         Term::Int(_) | Term::Float(_) => true,
         Term::Tuple(op, args) => matches!(
             (op.as_str(), args.len()),
-            ("+", 2) | ("-", 2) | ("*", 2) | ("/", 2) | ("mod", 2) | ("min", 2) | ("max", 2)
+            ("+", 2)
+                | ("-", 2)
+                | ("*", 2)
+                | ("/", 2)
+                | ("mod", 2)
+                | ("min", 2)
+                | ("max", 2)
                 | ("-", 1)
                 | ("abs", 1)
         ),

@@ -132,7 +132,7 @@ mod tests {
 
     #[test]
     fn ordering_is_lexicographic() {
-        let mut v = vec![Atom::new("server"), Atom::new("eval"), Atom::new("reduce")];
+        let mut v = [Atom::new("server"), Atom::new("eval"), Atom::new("reduce")];
         v.sort();
         let names: Vec<_> = v.iter().map(|a| a.as_str().to_string()).collect();
         assert_eq!(names, ["eval", "reduce", "server"]);

@@ -75,7 +75,10 @@ impl fmt::Display for StrandError {
                 write!(f, "builtin {builtin}: {detail}")
             }
             StrandError::BudgetExhausted { reductions } => {
-                write!(f, "reduction budget exhausted after {reductions} reductions")
+                write!(
+                    f,
+                    "reduction budget exhausted after {reductions} reductions"
+                )
             }
             StrandError::Other(msg) => write!(f, "{msg}"),
         }

@@ -177,16 +177,14 @@ pub fn term_eq(a: &Term, b: &Term, store: &Store) -> EqOutcome {
         (Term::Var(x), _) | (_, Term::Var(x)) => EqOutcome::Unknown(vec![*x]),
         (Term::Int(x), Term::Int(y)) => bool_eq(x == y),
         (Term::Float(x), Term::Float(y)) => bool_eq(x == y),
-        (Term::Int(x), Term::Float(y)) | (Term::Float(y), Term::Int(x)) => {
-            bool_eq(*x as f64 == *y)
-        }
+        (Term::Int(x), Term::Float(y)) | (Term::Float(y), Term::Int(x)) => bool_eq(*x as f64 == *y),
         (Term::Atom(x), Term::Atom(y)) => bool_eq(x == y),
         (Term::Str(x), Term::Str(y)) => bool_eq(x == y),
         (Term::Nil, Term::Nil) => EqOutcome::Eq,
         (Term::Port(x), Term::Port(y)) => bool_eq(x == y),
-        (Term::List(ca), Term::List(cb)) => {
-            combine_eq(term_eq(&ca.0, &cb.0, store), || term_eq(&ca.1, &cb.1, store))
-        }
+        (Term::List(ca), Term::List(cb)) => combine_eq(term_eq(&ca.0, &cb.0, store), || {
+            term_eq(&ca.1, &cb.1, store)
+        }),
         (Term::Tuple(fa, aa), Term::Tuple(fb, ab)) => {
             if fa != fb || aa.len() != ab.len() {
                 return EqOutcome::Neq;
@@ -264,7 +262,11 @@ pub fn eval_guard(guard: &Term, store: &Store) -> StrandResult<GuardOutcome> {
                         "=<" => a <= b,
                         _ => a >= b,
                     };
-                    Ok(if res { GuardOutcome::True } else { GuardOutcome::False })
+                    Ok(if res {
+                        GuardOutcome::True
+                    } else {
+                        GuardOutcome::False
+                    })
                 }
                 (l, r) => {
                     let mut vs = Vec::new();
@@ -283,13 +285,27 @@ pub fn eval_guard(guard: &Term, store: &Store) -> StrandResult<GuardOutcome> {
         ("==", 2) | ("=\\=", 2) => {
             let positive = name == "==";
             match term_eq(&args[0], &args[1], store) {
-                EqOutcome::Eq => Ok(if positive { GuardOutcome::True } else { GuardOutcome::False }),
-                EqOutcome::Neq => Ok(if positive { GuardOutcome::False } else { GuardOutcome::True }),
+                EqOutcome::Eq => Ok(if positive {
+                    GuardOutcome::True
+                } else {
+                    GuardOutcome::False
+                }),
+                EqOutcome::Neq => Ok(if positive {
+                    GuardOutcome::False
+                } else {
+                    GuardOutcome::True
+                }),
                 EqOutcome::Unknown(vs) => Ok(GuardOutcome::Suspend(vs)),
             }
         }
-        ("integer", 1) | ("float", 1) | ("number", 1) | ("atom", 1) | ("string", 1)
-        | ("list", 1) | ("tuple", 1) | ("data", 1) => {
+        ("integer", 1)
+        | ("float", 1)
+        | ("number", 1)
+        | ("atom", 1)
+        | ("string", 1)
+        | ("list", 1)
+        | ("tuple", 1)
+        | ("data", 1) => {
             let t = store.deref(&args[0]);
             if let Term::Var(v) = t {
                 // Type tests are dataflow: wait until the datum arrives.
@@ -306,13 +322,21 @@ pub fn eval_guard(guard: &Term, store: &Store) -> StrandResult<GuardOutcome> {
                 "data" => true,
                 _ => unreachable!(),
             };
-            Ok(if ok { GuardOutcome::True } else { GuardOutcome::False })
+            Ok(if ok {
+                GuardOutcome::True
+            } else {
+                GuardOutcome::False
+            })
         }
         // Nonmonotonic test used by some system code: true iff currently
         // unbound. Succeeds/fails immediately, never suspends.
         ("unknown", 1) => {
             let t = store.deref(&args[0]);
-            Ok(if t.is_var() { GuardOutcome::True } else { GuardOutcome::False })
+            Ok(if t.is_var() {
+                GuardOutcome::True
+            } else {
+                GuardOutcome::False
+            })
         }
         _ => Err(crate::error::StrandError::BadBuiltin {
             builtin: format!("{name}/{arity}"),
@@ -416,13 +440,19 @@ mod tests {
         let head = vec![Pat::list([Pat::Local(0), Pat::Int(2)])];
         let goal = vec![Term::list([Term::int(1), Term::int(2)])];
         let mut frame = frame_for(&head);
-        assert_eq!(match_args(&goal, &head, &store, &mut frame), MatchOutcome::Match);
+        assert_eq!(
+            match_args(&goal, &head, &store, &mut frame),
+            MatchOutcome::Match
+        );
         assert_eq!(frame.get(0), Some(&Term::int(1)));
 
         // Wrong length fails.
         let goal = vec![Term::list([Term::int(1)])];
         let mut frame = frame_for(&head);
-        assert_eq!(match_args(&goal, &head, &store, &mut frame), MatchOutcome::Fail);
+        assert_eq!(
+            match_args(&goal, &head, &store, &mut frame),
+            MatchOutcome::Fail
+        );
     }
 
     #[test]

@@ -196,7 +196,10 @@ mod tests {
 
     #[test]
     fn local_count_spans_structure() {
-        let p = Pat::tuple("f", vec![Pat::Local(0), Pat::cons(Pat::Local(3), Pat::Wild)]);
+        let p = Pat::tuple(
+            "f",
+            vec![Pat::Local(0), Pat::cons(Pat::Local(3), Pat::Wild)],
+        );
         assert_eq!(p.local_count(), 4);
         assert_eq!(Pat::Int(1).local_count(), 0);
     }

@@ -63,7 +63,9 @@ pub struct Store {
 
 impl Default for Slot {
     fn default() -> Self {
-        Slot::Unbound { waiters: Vec::new() }
+        Slot::Unbound {
+            waiters: Vec::new(),
+        }
     }
 }
 
@@ -249,7 +251,11 @@ mod tests {
         s.bind(x, Term::int(1), 0, NodeId(0)).unwrap();
         let err = s.bind(x, Term::int(2), 1, NodeId(0)).unwrap_err();
         match err {
-            StrandError::DoubleAssign { existing, attempted, .. } => {
+            StrandError::DoubleAssign {
+                existing,
+                attempted,
+                ..
+            } => {
                 assert_eq!(existing, Term::int(1));
                 assert_eq!(attempted, Term::int(2));
             }

@@ -125,10 +125,8 @@ impl Term {
 
     fn collect_vars(&self, out: &mut Vec<VarId>) {
         match self {
-            Term::Var(v) => {
-                if !out.contains(v) {
-                    out.push(*v);
-                }
+            Term::Var(v) if !out.contains(v) => {
+                out.push(*v);
             }
             Term::Tuple(_, args) => {
                 for a in args.iter() {
@@ -245,10 +243,17 @@ mod tests {
     fn constructors_and_display() {
         let t = Term::tuple(
             "tree",
-            vec![Term::atom("+"), Term::int(2), Term::cons(Term::int(1), Term::Nil)],
+            vec![
+                Term::atom("+"),
+                Term::int(2),
+                Term::cons(Term::int(1), Term::Nil),
+            ],
         );
         assert_eq!(t.to_string(), "tree(+,2,[1])");
-        assert_eq!(Term::list([Term::int(1), Term::int(2)]).to_string(), "[1,2]");
+        assert_eq!(
+            Term::list([Term::int(1), Term::int(2)]).to_string(),
+            "[1,2]"
+        );
         assert_eq!(Term::Nil.to_string(), "[]");
         assert_eq!(
             Term::cons(Term::int(1), Term::Var(VarId(7))).to_string(),

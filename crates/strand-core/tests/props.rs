@@ -1,9 +1,7 @@
 //! Property tests for the term model and single-assignment store.
 
 use proptest::prelude::*;
-use strand_core::{
-    eval_arith, match_args, MatchOutcome, NodeId, Pat, SplitMix64, Store, Term,
-};
+use strand_core::{eval_arith, match_args, MatchOutcome, NodeId, Pat, SplitMix64, Store, Term};
 
 /// Strategy: random ground terms.
 fn ground_term() -> impl Strategy<Value = Term> {
@@ -15,7 +13,10 @@ fn ground_term() -> impl Strategy<Value = Term> {
     ];
     leaf.prop_recursive(3, 24, 4, |inner| {
         prop_oneof![
-            (proptest::collection::vec(inner.clone(), 1..4), "[a-z][a-z0-9]{0,4}")
+            (
+                proptest::collection::vec(inner.clone(), 1..4),
+                "[a-z][a-z0-9]{0,4}"
+            )
                 .prop_map(|(args, name)| Term::tuple(name, args)),
             proptest::collection::vec(inner, 0..4).prop_map(Term::list),
         ]

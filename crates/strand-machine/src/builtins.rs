@@ -18,12 +18,18 @@
 //! | `print(T)` | append the resolved term to the run's output log |
 //! | `current_node(N)` | the executing node's 1-based number |
 //! | `true` | no-op |
+//! | `after_unless(C, W, T)` | deterministic timer: binds `T := timeout` after `W` ticks unless `C` is bound first (then it evaporates, costing nothing) — the Supervise motif's retry/heartbeat clock |
+//! | `ack(V)` | idempotently bind `V := ok` — safe under duplicate delivery |
+//! | `unique_id(N)` | bind `N` to a fresh machine-wide integer (sequence numbers) |
 //!
 //! Internal (not surface syntax): `'$spawn_at'(NodeExpr, Goal)` defers a
-//! placement whose node expression is not yet bound, and `'$forward'(S, P)`
-//! is the per-stream forwarder process of `merge/2`.
+//! placement whose node expression is not yet bound, `'$forward'(S, P)`
+//! is the per-stream forwarder process of `merge/2`, `'$timer'(C, T)` is a
+//! pending `after_unless` deadline, and `'$deliver'(P, M)` is a delayed
+//! port message en route (fault injection).
 
-use crate::machine::{Machine, PortState};
+use crate::machine::{Delivery, Machine, PortState};
+use crate::trace::{goal_text, TraceEvent};
 use strand_core::arith::{is_arith_expr, Evaled};
 use strand_core::{eval_arith, StrandError, StrandResult, Term, VarId};
 
@@ -55,8 +61,13 @@ pub(crate) fn is_builtin(name: &str, arity: usize) -> bool {
             | ("current_node", 1)
             | ("arg", 3)
             | ("gauge", 2)
+            | ("after_unless", 3)
+            | ("ack", 1)
+            | ("unique_id", 1)
             | ("$spawn_at", 2)
             | ("$forward", 2)
+            | ("$timer", 2)
+            | ("$deliver", 2)
     )
 }
 
@@ -271,6 +282,67 @@ impl Machine {
                 self.bind_or_err(n, Term::int(id))?
             }
 
+            // `after_unless(Cancel, Ticks, T)`: arm a deterministic timer.
+            // If `Cancel` is still unbound after `Ticks`, `T := timeout`
+            // fires (waking racers); if `Cancel` was bound first the pending
+            // timer evaporates without advancing any clock (see
+            // `Machine::run`). Backbone of the Supervise motif's retry
+            // backoff and heartbeat watchdogs.
+            ("after_unless", [cancel, ticks, t]) => match eval_arith(ticks, &self.store)? {
+                Evaled::Suspend(vs) => BuiltinOutcome::Suspend(vs),
+                Evaled::Num(n) => {
+                    let wait = n.as_f64().max(0.0) as u64;
+                    let node = self.current_node;
+                    let deadline = self.now() + wait;
+                    self.enqueue(
+                        Term::tuple("$timer", vec![cancel.clone(), t.clone()]),
+                        node,
+                        deadline,
+                    );
+                    BuiltinOutcome::Done
+                }
+            },
+
+            // A timer that survived to its deadline (the cancelled case is
+            // filtered out by the scheduler before it gets here).
+            ("$timer", [cancel, t]) => {
+                if matches!(self.store.deref(cancel), Term::Var(_)) {
+                    self.bind_or_err(t, Term::atom("timeout"))?
+                } else {
+                    BuiltinOutcome::Done
+                }
+            }
+
+            // `ack(V)`: idempotent acknowledgement. First call binds
+            // `V := ok`; repeats (duplicate deliveries, replays) are no-ops
+            // instead of double-assignment errors.
+            ("ack", [v]) => match self.store.deref(v) {
+                Term::Var(w) => {
+                    self.bind_now(w, Term::atom("ok"))?;
+                    BuiltinOutcome::Done
+                }
+                Term::Atom(a) if a.as_str() == "ok" => BuiltinOutcome::Done,
+                other => bad("ack/1", format!("already bound to {other}")),
+            },
+
+            // `unique_id(N)`: machine-wide fresh integer, for sequence
+            // numbers (duplicate suppression in the Supervise motif).
+            ("unique_id", [n]) => {
+                self.seq_counter += 1;
+                let id = self.seq_counter as i64;
+                self.bind_or_err(n, Term::int(id))?
+            }
+
+            // A delayed port message arriving at last (fault injection);
+            // accounting happened at send time.
+            ("$deliver", [p, m]) => match self.store.deref(p) {
+                Term::Port(id) => {
+                    self.port_append(id, m.clone())?;
+                    BuiltinOutcome::Done
+                }
+                other => bad("$deliver/2", format!("not a port: {other}")),
+            },
+
             // `arg(I, T, V)`: V is the I-th argument of tuple T (1-based).
             // The selected argument may itself be unbound — it is aliased,
             // not waited for.
@@ -353,28 +425,81 @@ impl Machine {
         }
     }
 
-    /// Append `msg` to a port's stream, with message accounting.
+    /// Append `msg` to a port's stream, with message accounting and — for
+    /// cross-node sends — fault injection. Note what a crash does *not*
+    /// break: the stream is data in the global store, so sends to a port
+    /// whose owner died still append (a restarted consumer can replay
+    /// them); only injected drops lose messages.
     fn port_send(&mut self, port: u32, msg: Term) -> StrandResult<BuiltinOutcome> {
         let msg = self.store.deref(&msg);
-        let PortState { owner, tail } = self.ports[port as usize].clone();
-        let new_tail = self.store.new_var();
-        let cell = Term::cons(msg.clone(), Term::Var(new_tail));
-        self.ports[port as usize].tail = new_tail;
+        let owner = self.ports[port as usize].owner;
         if self.current_node != owner {
             self.metrics.count_message(self.current_node, owner);
-            self.metrics.port_msgs_cross += 1;
-            if let Some((f, _)) = msg.functor() {
-                *self
-                    .metrics
-                    .port_msgs_by_functor
-                    .entry(f.as_str().to_string())
-                    .or_insert(0) += 1;
+            match self.edge_delivery(self.current_node, owner) {
+                Delivery::Deliver => {}
+                Delivery::Drop => {
+                    self.record_drop(owner, &msg);
+                    return Ok(BuiltinOutcome::Done);
+                }
+                Delivery::Duplicate => {
+                    self.metrics.msgs_duplicated += 1;
+                    if self.config.record_trace {
+                        let ev = TraceEvent::Duplicate {
+                            time: self.now(),
+                            from: self.current_node,
+                            to: owner,
+                            goal: goal_text(&msg),
+                        };
+                        self.push_trace(ev);
+                    }
+                    self.count_cross_port(&msg);
+                    self.port_append(port, msg.clone())?;
+                }
+                Delivery::Delay(extra) => {
+                    // The message goes on the wire now but lands later: an
+                    // internal courier on the sending node performs the
+                    // append after `extra` ticks, and the tail binding then
+                    // pays the usual cross-node latency on top.
+                    self.metrics.msgs_delayed += 1;
+                    self.count_cross_port(&msg);
+                    let node = self.current_node;
+                    let at = self.now() + extra;
+                    self.enqueue(
+                        Term::tuple("$deliver", vec![Term::Port(port), msg]),
+                        node,
+                        at,
+                    );
+                    return Ok(BuiltinOutcome::Done);
+                }
             }
+            self.count_cross_port(&msg);
         } else {
             self.metrics.port_msgs_local += 1;
         }
-        self.bind_now(tail, cell)?;
+        self.port_append(port, msg)?;
         Ok(BuiltinOutcome::Done)
+    }
+
+    /// Raw stream append: allocate the next cell and bind the old tail
+    /// (waking consumers). No accounting, no faults.
+    pub(crate) fn port_append(&mut self, port: u32, msg: Term) -> StrandResult<()> {
+        let PortState { tail, .. } = self.ports[port as usize].clone();
+        let new_tail = self.store.new_var();
+        let cell = Term::cons(msg, Term::Var(new_tail));
+        self.ports[port as usize].tail = new_tail;
+        self.bind_now(tail, cell)?;
+        Ok(())
+    }
+
+    fn count_cross_port(&mut self, msg: &Term) {
+        self.metrics.port_msgs_cross += 1;
+        if let Some((f, _)) = msg.functor() {
+            *self
+                .metrics
+                .port_msgs_by_functor
+                .entry(f.as_str().to_string())
+                .or_insert(0) += 1;
+        }
     }
 }
 

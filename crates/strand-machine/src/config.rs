@@ -3,6 +3,114 @@
 use std::collections::HashSet;
 use strand_core::Time;
 
+/// Per-edge message fault probabilities (applied to cross-node deliveries:
+/// remote spawns and port/stream sends; binding notifications stay reliable
+/// — see DESIGN.md, "Fault model").
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct EdgeFaults {
+    /// Probability a delivery is silently lost.
+    pub drop_prob: f64,
+    /// Probability a delivery arrives twice.
+    pub dup_prob: f64,
+    /// Probability a delivery is held up for `delay_ticks` extra.
+    pub delay_prob: f64,
+    /// Extra virtual time added when a delay fault fires.
+    pub delay_ticks: Time,
+}
+
+impl EdgeFaults {
+    /// True when no fault can ever fire on this edge.
+    pub fn is_quiet(&self) -> bool {
+        self.drop_prob <= 0.0 && self.dup_prob <= 0.0 && self.delay_prob <= 0.0
+    }
+}
+
+/// A deterministic, seeded fault schedule for a run.
+///
+/// Node numbers are 1-based, like `Goal@J` placements. An empty plan (the
+/// default) injects nothing and leaves every run bit-identical to a machine
+/// without the fault layer.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// `(node, T)`: the node dies at virtual time `T` — its run queue is
+    /// dropped, its suspended goals never wake, and later deliveries to it
+    /// are lost.
+    pub crashes: Vec<(u32, Time)>,
+    /// Fault probabilities applied to every cross-node edge.
+    pub default_edge: EdgeFaults,
+    /// Per-edge `(from, to, faults)` overrides of `default_edge`.
+    pub edges: Vec<(u32, u32, EdgeFaults)>,
+    /// `(node, factor)`: every reduction on the node costs `factor`× the
+    /// normal virtual time (straggler injection).
+    pub slowdowns: Vec<(u32, u64)>,
+    /// Seed of the fault RNG — deliberately separate from
+    /// [`MachineConfig::seed`] so enabling faults never perturbs the
+    /// program-visible `rand_num` stream.
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// True when the plan injects nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.crashes.is_empty()
+            && self.default_edge.is_quiet()
+            && self.edges.iter().all(|(_, _, e)| e.is_quiet())
+            && self.slowdowns.is_empty()
+    }
+
+    /// Builder: crash `node` (1-based) at virtual time `at`.
+    pub fn crash(mut self, node: u32, at: Time) -> Self {
+        self.crashes.push((node, at));
+        self
+    }
+
+    /// Builder: drop each cross-node delivery with probability `p`.
+    pub fn drop_prob(mut self, p: f64) -> Self {
+        self.default_edge.drop_prob = p;
+        self
+    }
+
+    /// Builder: duplicate each cross-node delivery with probability `p`.
+    pub fn dup_prob(mut self, p: f64) -> Self {
+        self.default_edge.dup_prob = p;
+        self
+    }
+
+    /// Builder: delay each cross-node delivery by `ticks` with probability `p`.
+    pub fn delay(mut self, p: f64, ticks: Time) -> Self {
+        self.default_edge.delay_prob = p;
+        self.default_edge.delay_ticks = ticks;
+        self
+    }
+
+    /// Builder: override the fault probabilities of one directed edge.
+    pub fn edge(mut self, from: u32, to: u32, faults: EdgeFaults) -> Self {
+        self.edges.push((from, to, faults));
+        self
+    }
+
+    /// Builder: slow `node` (1-based) down by `factor`×.
+    pub fn slowdown(mut self, node: u32, factor: u64) -> Self {
+        self.slowdowns.push((node, factor));
+        self
+    }
+
+    /// Builder: fault-RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The fault probabilities in force on a directed edge (1-based nodes).
+    pub fn edge_faults(&self, from: u32, to: u32) -> EdgeFaults {
+        self.edges
+            .iter()
+            .find(|(f, t, _)| *f == from && *t == to)
+            .map(|(_, _, e)| *e)
+            .unwrap_or(self.default_edge)
+    }
+}
+
 /// Configuration of the simulated multicomputer.
 ///
 /// The defaults model a modest message-passing machine of the paper's era in
@@ -33,6 +141,8 @@ pub struct MachineConfig {
     /// Record a [`TraceEvent`](crate::trace::TraceEvent) per scheduler
     /// action (off by default; tracing costs time and memory).
     pub record_trace: bool,
+    /// Deterministic fault schedule (empty by default: a perfect machine).
+    pub faults: FaultPlan,
 }
 
 impl Default for MachineConfig {
@@ -46,6 +156,7 @@ impl Default for MachineConfig {
             tracked: HashSet::new(),
             fail_fast: true,
             record_trace: false,
+            faults: FaultPlan::default(),
         }
     }
 }
@@ -76,6 +187,12 @@ impl MachineConfig {
         self.tracked.insert(name.to_string());
         self
     }
+
+    /// Builder-style fault plan override.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -92,7 +209,10 @@ mod tests {
 
     #[test]
     fn builder_chains() {
-        let c = MachineConfig::with_nodes(8).seed(7).latency(3).track("eval");
+        let c = MachineConfig::with_nodes(8)
+            .seed(7)
+            .latency(3)
+            .track("eval");
         assert_eq!(c.nodes, 8);
         assert_eq!(c.seed, 7);
         assert_eq!(c.latency, 3);
@@ -102,5 +222,33 @@ mod tests {
     #[test]
     fn zero_nodes_clamped_to_one() {
         assert_eq!(MachineConfig::with_nodes(0).nodes, 1);
+    }
+
+    #[test]
+    fn default_fault_plan_is_empty() {
+        assert!(MachineConfig::default().faults.is_empty());
+        assert!(FaultPlan::default().is_empty());
+    }
+
+    #[test]
+    fn fault_plan_builders_chain() {
+        let plan = FaultPlan::default()
+            .crash(2, 500)
+            .drop_prob(0.1)
+            .slowdown(3, 4)
+            .seed(7);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.crashes, vec![(2, 500)]);
+        assert_eq!(plan.slowdowns, vec![(3, 4)]);
+        assert_eq!(plan.seed, 7);
+        assert!((plan.edge_faults(1, 2).drop_prob - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edge_overrides_beat_default() {
+        let quiet = EdgeFaults::default();
+        let plan = FaultPlan::default().drop_prob(0.5).edge(1, 2, quiet);
+        assert!(plan.edge_faults(1, 2).is_quiet());
+        assert!(!plan.edge_faults(2, 1).is_quiet());
     }
 }

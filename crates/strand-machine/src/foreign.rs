@@ -38,7 +38,6 @@ impl ForeignRegistry {
     pub fn contains(&self, name: &str, arity: usize) -> bool {
         self.fns.contains_key(&(name.to_string(), arity))
     }
-
 }
 
 impl Machine {
@@ -102,10 +101,12 @@ impl Machine {
                         Ok(()) => Ok(ForeignOutcome::Done),
                         Err(e) => Err(e),
                     },
-                    other => Ok(ForeignOutcome::Error(strand_core::StrandError::BadBuiltin {
-                        builtin: format!("{name}/{n}"),
-                        detail: format!("output argument already bound: {other}"),
-                    })),
+                    other => Ok(ForeignOutcome::Error(
+                        strand_core::StrandError::BadBuiltin {
+                            builtin: format!("{name}/{n}"),
+                            detail: format!("output argument already bound: {other}"),
+                        },
+                    )),
                 }
             }
             Err(e) => Ok(ForeignOutcome::Error(e)),

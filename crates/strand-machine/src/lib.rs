@@ -32,7 +32,7 @@ pub mod machine;
 pub mod metrics;
 pub mod trace;
 
-pub use config::MachineConfig;
+pub use config::{EdgeFaults, FaultPlan, MachineConfig};
 pub use foreign::ForeignFn;
 pub use machine::{Machine, RunReport, RunStatus};
 pub use metrics::Metrics;
@@ -59,11 +59,7 @@ impl GoalResult {
 
 /// Convert a surface term into a runtime term, sharing variables through
 /// `vars` (named variables map to store variables; wildcards are fresh).
-pub fn ast_to_term(
-    ast: &Ast,
-    machine: &mut Machine,
-    vars: &mut BTreeMap<String, Term>,
-) -> Term {
+pub fn ast_to_term(ast: &Ast, machine: &mut Machine, vars: &mut BTreeMap<String, Term>) -> Term {
     match ast {
         Ast::Var(name) => vars
             .entry(name.clone())
@@ -77,14 +73,9 @@ pub fn ast_to_term(
         Ast::Nil => Term::Nil,
         Ast::Tuple(name, args) => Term::tuple(
             name.as_str(),
-            args.iter()
-                .map(|a| ast_to_term(a, machine, vars))
-                .collect(),
+            args.iter().map(|a| ast_to_term(a, machine, vars)).collect(),
         ),
-        Ast::List(h, t) => Term::cons(
-            ast_to_term(h, machine, vars),
-            ast_to_term(t, machine, vars),
-        ),
+        Ast::List(h, t) => Term::cons(ast_to_term(h, machine, vars), ast_to_term(t, machine, vars)),
     }
 }
 
@@ -94,8 +85,7 @@ pub fn run_goal(
     goal_src: &str,
     config: MachineConfig,
 ) -> StrandResult<GoalResult> {
-    let program =
-        parse_program(program_src).map_err(|e| StrandError::Other(e.to_string()))?;
+    let program = parse_program(program_src).map_err(|e| StrandError::Other(e.to_string()))?;
     run_parsed_goal(&program, goal_src, config)
 }
 
@@ -235,7 +225,10 @@ mod tests {
     fn deadlocked_program_reports_quiescence() {
         let src = "wait(X, Y) :- X > 0 | Y := done.";
         let r = run(src, "wait(X, Y)"); // X never bound
-        assert!(matches!(r.report.status, RunStatus::Quiescent { suspended: 1 }));
+        assert!(matches!(
+            r.report.status,
+            RunStatus::Quiescent { suspended: 1 }
+        ));
         assert_eq!(r.report.suspended_goals.len(), 1);
     }
 
@@ -353,8 +346,10 @@ mod tests {
     #[test]
     fn budget_exhaustion_detected() {
         let src = "spin :- spin.";
-        let mut cfg = MachineConfig::default();
-        cfg.max_reductions = 1000;
+        let cfg = MachineConfig {
+            max_reductions: 1000,
+            ..Default::default()
+        };
         let err = run_goal(src, "spin", cfg).unwrap_err();
         assert!(matches!(err, StrandError::BudgetExhausted { .. }));
     }

@@ -20,11 +20,11 @@ use crate::metrics::Metrics;
 use crate::trace::{goal_text, TraceEvent};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
 use strand_core::{
     match_args, GuardOutcome, MatchOutcome, NodeId, SplitMix64, Store, StrandError, StrandResult,
     Term, Time, VarId,
 };
-use std::sync::Arc;
 use strand_parse::{CompiledProgram, CompiledRule};
 
 /// A queued (runnable) process.
@@ -84,6 +84,18 @@ pub enum RunStatus {
     /// for server networks that idle awaiting messages (quiescence), a bug
     /// for programs expected to deliver results.
     Quiescent { suspended: usize },
+    /// Quiescent *and* at least one node is dead: surviving processes are
+    /// suspended on bindings that can no longer arrive. `dead` counts the
+    /// goals lost with the crashed nodes (snapshots in
+    /// [`RunReport::dead_goals`]); `crashed_nodes` is 1-based.
+    Partitioned {
+        suspended: usize,
+        dead: usize,
+        crashed_nodes: Vec<u32>,
+    },
+    /// The reduction budget ran out with `fail_fast` off: the report carries
+    /// everything computed so far (partial metrics and output).
+    Truncated { reductions: u64 },
 }
 
 /// Result of a run: status, metrics and collected `print/1` output.
@@ -96,6 +108,8 @@ pub struct RunReport {
     pub errors: Vec<(Time, StrandError)>,
     /// Goals still suspended at quiescence (resolved snapshots, capped).
     pub suspended_goals: Vec<Term>,
+    /// Goals lost with crashed nodes (resolved snapshots, capped at 16).
+    pub dead_goals: Vec<Term>,
     /// Scheduler trace (empty unless `record_trace` was set).
     pub trace: Vec<TraceEvent>,
 }
@@ -123,14 +137,50 @@ pub struct Machine {
     /// §2.1; see [`crate::foreign`].
     pub(crate) foreign: crate::foreign::ForeignRegistry,
     trace: Vec<TraceEvent>,
+    /// Fault injection state (see [`crate::config::FaultPlan`]). The fault
+    /// RNG is separate from `rng` so faults never perturb `rand_num`.
+    fault_rng: SplitMix64,
+    crashed: Vec<bool>,
+    /// Scheduled crashes not yet fired, as (node, time).
+    pending_crashes: Vec<(NodeId, Time)>,
+    /// Per-node reduction-cost multiplier (≥ 1; straggler injection).
+    slowdown: Vec<u64>,
+    /// Resolved snapshots of goals lost with crashed nodes (capped at 16).
+    dead_goals: Vec<Term>,
+    dead_count: usize,
+    /// Counter backing the `unique_id/1` builtin (sequence numbers).
+    pub(crate) seq_counter: u64,
 }
 
 impl Machine {
     /// Build a machine for a compiled program.
     pub fn new(program: CompiledProgram, config: MachineConfig) -> Machine {
         let n = config.nodes as usize;
+        let map = |j: u32| {
+            let v = config.nodes as i64;
+            NodeId((((j as i64 - 1) % v + v) % v) as u32)
+        };
+        let mut pending_crashes: Vec<(NodeId, Time)> = config
+            .faults
+            .crashes
+            .iter()
+            .map(|&(j, t)| (map(j), t))
+            .collect();
+        // Earliest first; ties broken by node index for determinism.
+        pending_crashes.sort_by_key(|&(node, t)| (t, node.0));
+        let mut slowdown = vec![1u64; n];
+        for &(j, f) in &config.faults.slowdowns {
+            slowdown[map(j).0 as usize] = f.max(1);
+        }
         Machine {
             rng: SplitMix64::new(config.seed),
+            fault_rng: SplitMix64::new(config.faults.seed),
+            crashed: vec![false; n],
+            pending_crashes,
+            slowdown,
+            dead_goals: Vec::new(),
+            dead_count: 0,
+            seq_counter: 0,
             metrics: Metrics::new(n),
             nodes: (0..n)
                 .map(|_| Node {
@@ -175,8 +225,16 @@ impl Machine {
         self.next_pid
     }
 
+    /// Record a trace event (no-op unless tracing is on — callers check).
+    pub(crate) fn push_trace(&mut self, event: TraceEvent) {
+        self.trace.push(event);
+    }
+
     /// Enqueue a goal on a node at the given ready time.
     pub(crate) fn enqueue(&mut self, goal: Term, node: NodeId, ready_at: Time) {
+        if self.crashed[node.0 as usize] {
+            return; // dead nodes accept no work
+        }
         let tracked = goal
             .functor()
             .is_some_and(|(name, _)| self.config.tracked.contains(name.as_str()));
@@ -197,16 +255,92 @@ impl Machine {
         }
     }
 
-    /// Spawn a goal from the current reduction (applies cross-node latency
-    /// and message accounting).
+    /// The executing node's clock (valid inside a reduction step).
+    pub(crate) fn now(&self) -> Time {
+        self.nodes[self.current_node.0 as usize].clock
+    }
+
+    /// Is the node dead per the fault plan?
+    pub(crate) fn is_crashed(&self, node: NodeId) -> bool {
+        self.crashed[node.0 as usize]
+    }
+
+    /// Roll the fault dice for one cross-node delivery. Quiet edges consume
+    /// no randomness, so an empty plan leaves runs bit-identical.
+    pub(crate) fn edge_delivery(&mut self, from: NodeId, to: NodeId) -> Delivery {
+        let ef = self.config.faults.edge_faults(from.0 + 1, to.0 + 1);
+        if ef.is_quiet() {
+            return Delivery::Deliver;
+        }
+        let roll = self.fault_rng.next_f64();
+        if roll < ef.drop_prob {
+            Delivery::Drop
+        } else if roll < ef.drop_prob + ef.dup_prob {
+            Delivery::Duplicate
+        } else if roll < ef.drop_prob + ef.dup_prob + ef.delay_prob {
+            Delivery::Delay(ef.delay_ticks)
+        } else {
+            Delivery::Deliver
+        }
+    }
+
+    /// Record a lost delivery (fault injection or dead target).
+    pub(crate) fn record_drop(&mut self, to: NodeId, goal: &Term) {
+        self.metrics.msgs_dropped += 1;
+        if self.config.record_trace {
+            self.trace.push(TraceEvent::Drop {
+                time: self.now(),
+                from: self.current_node,
+                to,
+                goal: goal_text(goal),
+            });
+        }
+    }
+
+    /// Spawn a goal from the current reduction (applies cross-node latency,
+    /// message accounting, and — for cross-node spawns — fault injection).
     pub(crate) fn spawn(&mut self, goal: Term, target: NodeId) {
-        let now = self.nodes[self.current_node.0 as usize].clock;
+        let now = self.now();
+        if self.is_crashed(target) {
+            // Delivery to a dead node is lost silently, like the machine it
+            // models; the metrics and trace still see it.
+            if target != self.current_node {
+                self.metrics.count_message(self.current_node, target);
+            }
+            self.record_drop(target, &goal);
+            return;
+        }
+        let mut duplicate_at = None;
         let ready_at = if target == self.current_node {
             now
         } else {
             self.metrics.count_message(self.current_node, target);
             self.metrics.remote_spawns += 1;
-            now + self.config.latency
+            let arrival = now + self.config.latency;
+            match self.edge_delivery(self.current_node, target) {
+                Delivery::Deliver => arrival,
+                Delivery::Drop => {
+                    self.record_drop(target, &goal);
+                    return;
+                }
+                Delivery::Duplicate => {
+                    self.metrics.msgs_duplicated += 1;
+                    if self.config.record_trace {
+                        self.trace.push(TraceEvent::Duplicate {
+                            time: now,
+                            from: self.current_node,
+                            to: target,
+                            goal: goal_text(&goal),
+                        });
+                    }
+                    duplicate_at = Some(arrival + self.config.latency);
+                    arrival
+                }
+                Delivery::Delay(extra) => {
+                    self.metrics.msgs_delayed += 1;
+                    arrival + extra
+                }
+            }
         };
         if self.config.record_trace {
             self.trace.push(TraceEvent::Spawn {
@@ -215,6 +349,9 @@ impl Machine {
                 to: target,
                 goal: goal_text(&goal),
             });
+        }
+        if let Some(at) = duplicate_at {
+            self.enqueue(goal.clone(), target, at);
         }
         self.enqueue(goal, target, ready_at);
     }
@@ -317,6 +454,7 @@ impl Machine {
     /// enqueued (see [`Machine::start`] or the `run_*` helpers in the crate
     /// root).
     pub fn run(&mut self) -> StrandResult<RunReport> {
+        let mut truncated = false;
         loop {
             // Pick the node with the earliest next event.
             let mut best: Option<(Time, usize)> = None;
@@ -328,14 +466,41 @@ impl Machine {
                     }
                 }
             }
-            let Some((start, i)) = best else { break };
-            let item = self.nodes[i].queue.pop().expect("peeked nonempty queue");
-            self.total_reductions += 1;
-            if self.total_reductions > self.config.max_reductions {
-                return Err(StrandError::BudgetExhausted {
-                    reductions: self.total_reductions,
-                });
+            // Fire any scheduled crash due before the next event, so crashes
+            // hit idle (suspended) nodes too, in global virtual-time order.
+            if let Some(&(node, at)) = self.pending_crashes.first() {
+                if best.is_none_or(|(bk, _)| at <= bk) {
+                    self.pending_crashes.remove(0);
+                    self.apply_crash(node, at);
+                    continue;
+                }
             }
+            let Some((start, i)) = best else { break };
+            if self.total_reductions >= self.config.max_reductions {
+                if self.config.fail_fast {
+                    return Err(StrandError::BudgetExhausted {
+                        reductions: self.total_reductions + 1,
+                    });
+                }
+                self.errors.push((
+                    start,
+                    StrandError::BudgetExhausted {
+                        reductions: self.total_reductions,
+                    },
+                ));
+                truncated = true;
+                break;
+            }
+            let item = self.nodes[i].queue.pop().expect("peeked nonempty queue");
+            // A '$timer'(Cancel, T) whose cancel flag is already bound
+            // evaporates without advancing the clock or consuming budget:
+            // cancelled timeouts must not stretch the makespan.
+            if let Some(("$timer", 2)) = item.goal.functor().map(|(n, a)| (n.as_str(), a)) {
+                if !matches!(self.store.deref(&item.goal.goal_args()[0]), Term::Var(_)) {
+                    continue;
+                }
+            }
+            self.total_reductions += 1;
             self.current_node = NodeId(i as u32);
             self.extra_cost = 0;
             self.nodes[i].clock = start;
@@ -348,7 +513,7 @@ impl Machine {
                 });
             }
             let step_result = self.reduce(item);
-            let cost = self.config.reduction_cost + self.extra_cost;
+            let cost = (self.config.reduction_cost + self.extra_cost) * self.slowdown[i];
             self.nodes[i].clock = start + cost;
             self.metrics.busy[i] += cost;
             self.metrics.reductions[i] += 1;
@@ -356,7 +521,25 @@ impl Machine {
         }
         self.metrics.makespan = self.nodes.iter().map(|n| n.clock).max().unwrap_or(0);
         self.metrics.total_reductions = self.total_reductions;
-        let status = if self.suspended.is_empty() {
+        let crashed_nodes: Vec<u32> = self
+            .crashed
+            .iter()
+            .enumerate()
+            .filter(|(_, &dead)| dead)
+            .map(|(i, _)| i as u32 + 1)
+            .collect();
+        let status = if truncated {
+            RunStatus::Truncated {
+                reductions: self.total_reductions,
+            }
+        } else if !crashed_nodes.is_empty() && !self.suspended.is_empty() {
+            // Survivors are stuck on bindings a dead node will never make.
+            RunStatus::Partitioned {
+                suspended: self.suspended.len(),
+                dead: self.dead_count,
+                crashed_nodes,
+            }
+        } else if self.suspended.is_empty() {
             RunStatus::Completed
         } else {
             RunStatus::Quiescent {
@@ -370,14 +553,69 @@ impl Machine {
             .map(|s| self.store.resolve(&s.goal))
             .collect();
         suspended_goals.sort_by_key(|t| t.to_string());
+        let mut dead_goals = self.dead_goals.clone();
+        dead_goals.sort_by_key(|t| t.to_string());
         Ok(RunReport {
             status,
             metrics: self.metrics.clone(),
             output: self.output.clone(),
             errors: std::mem::take(&mut self.errors),
             suspended_goals,
+            dead_goals,
             trace: std::mem::take(&mut self.trace),
         })
+    }
+
+    /// Kill a node: drop its queue, tear out its suspended goals (they will
+    /// never wake), and remember diagnostics snapshots.
+    fn apply_crash(&mut self, node: NodeId, at: Time) {
+        let i = node.0 as usize;
+        if self.crashed[i] {
+            return;
+        }
+        self.crashed[i] = true;
+        // The node's clock stays where computation stopped: a crash is not
+        // work, and must not stretch the makespan.
+        let lost_queue = self.nodes[i].queue.len();
+        let lost: Vec<QItem> = self.nodes[i].queue.drain().collect();
+        for item in &lost {
+            if item.tracked {
+                self.metrics.track_done(node);
+            }
+            if self.dead_goals.len() < 16 {
+                self.dead_goals.push(self.store.resolve(&item.goal));
+            }
+        }
+        self.dead_count += lost_queue;
+        let dead_pids: Vec<u64> = self
+            .suspended
+            .iter()
+            .filter(|(_, s)| s.node == node)
+            .map(|(&pid, _)| pid)
+            .collect();
+        let lost_suspended = dead_pids.len();
+        for pid in dead_pids {
+            let susp = self.suspended.remove(&pid).expect("collected above");
+            for v in &susp.vars {
+                self.store.remove_waiter(*v, pid);
+            }
+            if susp.tracked {
+                self.metrics.track_done(node);
+            }
+            if self.dead_goals.len() < 16 {
+                self.dead_goals.push(self.store.resolve(&susp.goal));
+            }
+        }
+        self.dead_count += lost_suspended;
+        self.metrics.nodes_crashed += 1;
+        if self.config.record_trace {
+            self.trace.push(TraceEvent::Crash {
+                time: at,
+                node,
+                lost_queue,
+                lost_suspended,
+            });
+        }
     }
 
     /// Enqueue `goal` on node 1 at time 0.
@@ -551,10 +789,7 @@ impl Machine {
                             // Placement not yet known: defer via the internal
                             // `'$spawn_at'` builtin, which suspends.
                             let node = self.current_node;
-                            self.spawn(
-                                Term::tuple("$spawn_at", vec![place_term, goal]),
-                                node,
-                            );
+                            self.spawn(Term::tuple("$spawn_at", vec![place_term, goal]), node);
                         }
                         Err(e) => self.record_error(e)?,
                     }
@@ -569,4 +804,12 @@ enum TryOutcome {
     Commit(strand_core::Frame),
     Fail,
     Suspend(Vec<VarId>),
+}
+
+/// Outcome of the fault dice for one cross-node delivery.
+pub(crate) enum Delivery {
+    Deliver,
+    Drop,
+    Duplicate,
+    Delay(Time),
 }

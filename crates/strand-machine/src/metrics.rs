@@ -45,6 +45,14 @@ pub struct Metrics {
     /// builtin. Experiment E2 uses a `pending` gauge for Tree-Reduce-2's
     /// queued-value memory.
     pub gauges: HashMap<String, Vec<u64>>,
+    /// Deliveries lost to fault injection (includes sends to dead nodes).
+    pub msgs_dropped: u64,
+    /// Deliveries duplicated by fault injection.
+    pub msgs_duplicated: u64,
+    /// Deliveries held up by a delay fault.
+    pub msgs_delayed: u64,
+    /// Nodes killed by the fault plan during the run.
+    pub nodes_crashed: u64,
 }
 
 impl Metrics {

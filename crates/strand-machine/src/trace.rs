@@ -41,6 +41,27 @@ pub enum TraceEvent {
         to: NodeId,
         goal: String,
     },
+    /// A node died per the fault plan: its queue and suspensions are lost.
+    Crash {
+        time: Time,
+        node: NodeId,
+        lost_queue: usize,
+        lost_suspended: usize,
+    },
+    /// A cross-node delivery was lost (fault injection or dead target).
+    Drop {
+        time: Time,
+        from: NodeId,
+        to: NodeId,
+        goal: String,
+    },
+    /// A cross-node delivery arrived twice (fault injection).
+    Duplicate {
+        time: Time,
+        from: NodeId,
+        to: NodeId,
+        goal: String,
+    },
 }
 
 impl TraceEvent {
@@ -50,32 +71,91 @@ impl TraceEvent {
             TraceEvent::Reduce { time, .. }
             | TraceEvent::Suspend { time, .. }
             | TraceEvent::Wake { time, .. }
-            | TraceEvent::Spawn { time, .. } => *time,
+            | TraceEvent::Spawn { time, .. }
+            | TraceEvent::Crash { time, .. }
+            | TraceEvent::Drop { time, .. }
+            | TraceEvent::Duplicate { time, .. } => *time,
         }
     }
 
     /// One-line rendering, timeline style.
     pub fn render(&self) -> String {
         match self {
-            TraceEvent::Reduce { time, node, pid, goal } => {
+            TraceEvent::Reduce {
+                time,
+                node,
+                pid,
+                goal,
+            } => {
                 format!("[{time:>6}] n{} reduce  p{pid} {goal}", node.0 + 1)
             }
-            TraceEvent::Suspend { time, node, pid, goal, vars } => {
+            TraceEvent::Suspend {
+                time,
+                node,
+                pid,
+                goal,
+                vars,
+            } => {
                 format!(
                     "[{time:>6}] n{} suspend p{pid} on {vars} var(s): {goal}",
                     node.0 + 1
                 )
             }
-            TraceEvent::Wake { time, binder, node, pid } => {
+            TraceEvent::Wake {
+                time,
+                binder,
+                node,
+                pid,
+            } => {
                 format!(
                     "[{time:>6}] n{} wake    p{pid} (bound on n{})",
                     node.0 + 1,
                     binder.0 + 1
                 )
             }
-            TraceEvent::Spawn { time, from, to, goal } => {
+            TraceEvent::Spawn {
+                time,
+                from,
+                to,
+                goal,
+            } => {
                 format!(
                     "[{time:>6}] n{} spawn   -> n{}: {goal}",
+                    from.0 + 1,
+                    to.0 + 1
+                )
+            }
+            TraceEvent::Crash {
+                time,
+                node,
+                lost_queue,
+                lost_suspended,
+            } => {
+                format!(
+                    "[{time:>6}] n{} CRASH   ({lost_queue} queued, {lost_suspended} suspended lost)",
+                    node.0 + 1
+                )
+            }
+            TraceEvent::Drop {
+                time,
+                from,
+                to,
+                goal,
+            } => {
+                format!(
+                    "[{time:>6}] n{} drop    -> n{}: {goal}",
+                    from.0 + 1,
+                    to.0 + 1
+                )
+            }
+            TraceEvent::Duplicate {
+                time,
+                from,
+                to,
+                goal,
+            } => {
+                format!(
+                    "[{time:>6}] n{} dup     -> n{}: {goal}",
                     from.0 + 1,
                     to.0 + 1
                 )
@@ -96,7 +176,9 @@ pub fn render_trace(events: &[TraceEvent]) -> String {
 
 /// Summarize a trace: events by kind, suggesting where time went.
 pub fn trace_summary(events: &[TraceEvent]) -> String {
-    let (mut reduces, mut suspends, mut wakes, mut spawns, mut remote) = (0u64, 0u64, 0u64, 0u64, 0u64);
+    let (mut reduces, mut suspends, mut wakes, mut spawns, mut remote) =
+        (0u64, 0u64, 0u64, 0u64, 0u64);
+    let (mut crashes, mut drops, mut dups) = (0u64, 0u64, 0u64);
     for e in events {
         match e {
             TraceEvent::Reduce { .. } => reduces += 1,
@@ -108,12 +190,21 @@ pub fn trace_summary(events: &[TraceEvent]) -> String {
                     remote += 1;
                 }
             }
+            TraceEvent::Crash { .. } => crashes += 1,
+            TraceEvent::Drop { .. } => drops += 1,
+            TraceEvent::Duplicate { .. } => dups += 1,
         }
     }
-    format!(
+    let mut summary = format!(
         "{reduces} reductions, {suspends} suspensions, {wakes} wakes, \
          {spawns} spawns ({remote} remote)"
-    )
+    );
+    if crashes + drops + dups > 0 {
+        summary.push_str(&format!(
+            ", {crashes} crashes, {drops} drops, {dups} duplicates"
+        ));
+    }
+    summary
 }
 
 /// Helper used by the machine to stringify goals lazily (only when tracing
@@ -121,7 +212,14 @@ pub fn trace_summary(events: &[TraceEvent]) -> String {
 pub(crate) fn goal_text(goal: &Term) -> String {
     let s = goal.to_string();
     if s.len() > 80 {
-        format!("{}…", &s[..s.char_indices().take(79).last().map_or(0, |(i, c)| i + c.len_utf8())])
+        format!(
+            "{}…",
+            &s[..s
+                .char_indices()
+                .take(79)
+                .last()
+                .map_or(0, |(i, c)| i + c.len_utf8())]
+        )
     } else {
         s
     }
@@ -146,8 +244,12 @@ mod tests {
             feed(A, B) :- A := 1, B := 2.
         "#;
         let events = traced(src, "go(V)", 1);
-        assert!(events.iter().any(|e| matches!(e, TraceEvent::Reduce { .. })));
-        assert!(events.iter().any(|e| matches!(e, TraceEvent::Suspend { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Reduce { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Suspend { .. })));
         assert!(events.iter().any(|e| matches!(e, TraceEvent::Wake { .. })));
         // Timestamps never decrease per node... globally they are the
         // scheduler's event order; check monotone non-decreasing overall

@@ -5,8 +5,7 @@ use strand_core::StrandError;
 use strand_machine::{run_goal, MachineConfig};
 
 fn expect_err(src: &str, goal: &str) -> StrandError {
-    run_goal(src, goal, MachineConfig::default())
-        .expect_err("program should fail")
+    run_goal(src, goal, MachineConfig::default()).expect_err("program should fail")
 }
 
 #[test]
@@ -108,8 +107,10 @@ fn errors_do_not_corrupt_collected_mode() {
         fine(X) :- X := ok.
         use(_).
     "#;
-    let mut cfg = MachineConfig::default();
-    cfg.fail_fast = false;
+    let cfg = MachineConfig {
+        fail_fast: false,
+        ..Default::default()
+    };
     let r = run_goal(src, "go", cfg).unwrap();
     assert_eq!(r.report.errors.len(), 2, "{:?}", r.report.errors);
 }

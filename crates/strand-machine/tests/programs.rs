@@ -60,10 +60,7 @@ fn sieve_of_eratosthenes_over_streams() {
             Rest := [N|R1], filter(Ns, P, R1).
     "#;
     let r = run(src, "primes(30, Ps)");
-    assert_eq!(
-        r.bindings["Ps"].to_string(),
-        "[2,3,5,7,11,13,17,19,23,29]"
-    );
+    assert_eq!(r.bindings["Ps"].to_string(), "[2,3,5,7,11,13,17,19,23,29]");
 }
 
 #[test]
@@ -103,8 +100,10 @@ fn errors_collected_when_fail_fast_off() {
         fine(X) :- X := ok.
         use(_).
     "#;
-    let mut cfg = MachineConfig::default();
-    cfg.fail_fast = false;
+    let cfg = MachineConfig {
+        fail_fast: false,
+        ..Default::default()
+    };
     let r = run_goal(src, "go", cfg).unwrap();
     assert_eq!(r.report.errors.len(), 1, "{:?}", r.report.errors);
     // The rest of the program still completed.

@@ -59,7 +59,10 @@ impl Ast {
     /// Proper list.
     pub fn list(items: impl IntoIterator<Item = Ast>) -> Ast {
         let items: Vec<Ast> = items.into_iter().collect();
-        items.into_iter().rev().fold(Ast::Nil, |t, h| Ast::cons(h, t))
+        items
+            .into_iter()
+            .rev()
+            .fold(Ast::Nil, |t, h| Ast::cons(h, t))
     }
 
     /// Functor name and arity if the term can be a goal.
@@ -88,10 +91,8 @@ impl Ast {
 
     fn collect_vars(&self, out: &mut Vec<String>) {
         match self {
-            Ast::Var(v) => {
-                if !out.iter().any(|o| o == v) {
-                    out.push(v.clone());
-                }
+            Ast::Var(v) if !out.iter().any(|o| o == v) => {
+                out.push(v.clone());
             }
             Ast::Tuple(_, args) => args.iter().for_each(|a| a.collect_vars(out)),
             Ast::List(h, t) => {

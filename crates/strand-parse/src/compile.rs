@@ -318,7 +318,10 @@ mod tests {
     fn singleton_warning_reported() {
         let p = parse_program("f(X, Y) :- g(X).").unwrap();
         let c = compile_program(&p).unwrap();
-        assert!(c.warnings.iter().any(|w| w.contains("singleton variable Y")));
+        assert!(c
+            .warnings
+            .iter()
+            .any(|w| w.contains("singleton variable Y")));
         // Underscore-prefixed names are exempt.
         let p = parse_program("f(X, _Unused) :- g(X).").unwrap();
         let c = compile_program(&p).unwrap();

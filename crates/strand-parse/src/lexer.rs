@@ -88,7 +88,11 @@ pub struct LexError {
 
 impl fmt::Display for LexError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "lex error at {}:{}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "lex error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -332,7 +336,10 @@ impl<'a> Lexer<'a> {
         if matches!(self.peek(), Some(b'e') | Some(b'E'))
             && (self.peek2().is_some_and(|c| c.is_ascii_digit())
                 || (matches!(self.peek2(), Some(b'+') | Some(b'-'))
-                    && self.src.get(self.pos + 2).is_some_and(|c| c.is_ascii_digit())))
+                    && self
+                        .src
+                        .get(self.pos + 2)
+                        .is_some_and(|c| c.is_ascii_digit())))
         {
             is_float = true;
             self.bump();

@@ -38,6 +38,6 @@ pub mod printer;
 
 pub use ast::{Annotation, Ast, Call, Procedure, Program, Rule};
 pub use compile::{compile_program, CompiledCall, CompiledProc, CompiledProgram, CompiledRule};
-pub use parser::{parse_program, parse_term, ParseError};
 pub use lint::{lint, Lint, LintKind, MACHINE_BUILTINS, MOTIF_PRIMITIVES};
+pub use parser::{parse_program, parse_term, ParseError};
 pub use printer::pretty;

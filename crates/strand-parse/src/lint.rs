@@ -66,16 +66,15 @@ pub const MACHINE_BUILTINS: &[(&str, usize)] = &[
     ("current_node", 1),
     ("arg", 3),
     ("gauge", 2),
+    ("after_unless", 3),
+    ("ack", 1),
+    ("unique_id", 1),
 ];
 
 /// Motif-level operations resolved by transformations (Server/Rand/Sched),
 /// legitimate in pre-transformation sources.
-pub const MOTIF_PRIMITIVES: &[(&str, usize)] = &[
-    ("send", 2),
-    ("send", 3),
-    ("nodes", 1),
-    ("halt", 0),
-];
+pub const MOTIF_PRIMITIVES: &[(&str, usize)] =
+    &[("send", 2), ("send", 3), ("nodes", 1), ("halt", 0)];
 
 /// Lint a program. `assume_defined` lists extra name/arity pairs the
 /// caller knows will be provided elsewhere (e.g. the user's `eval/4` when
@@ -123,10 +122,7 @@ pub fn lint(program: &Program, assume_defined: &[(&str, usize)]) -> Vec<Lint> {
                         findings.push(Lint {
                             kind: LintKind::UnassignableTarget,
                             procedure: key.clone(),
-                            detail: format!(
-                                "`{}` assigns to a non-variable",
-                                call.goal
-                            ),
+                            detail: format!("`{}` assigns to a non-variable", call.goal),
                         });
                     }
                 }
@@ -184,7 +180,11 @@ mod tests {
             consumer([X|Xs]) :- X := sync, consumer(Xs).
             consumer([]).
         "#;
-        assert!(kinds(src).is_empty(), "{:?}", lint(&parse_program(src).unwrap(), &[]));
+        assert!(
+            kinds(src).is_empty(),
+            "{:?}",
+            lint(&parse_program(src).unwrap(), &[])
+        );
     }
 
     #[test]
@@ -198,8 +198,11 @@ mod tests {
     fn arity_mismatch_is_undefined() {
         let src = "go(X) :- helper(X, X). helper(_).";
         let ls = lint(&parse_program(src).unwrap(), &[]);
-        assert!(ls.iter().any(|l| l.kind == LintKind::UndefinedCall
-            && l.detail.contains("helper/2")), "{ls:?}");
+        assert!(
+            ls.iter()
+                .any(|l| l.kind == LintKind::UndefinedCall && l.detail.contains("helper/2")),
+            "{ls:?}"
+        );
     }
 
     #[test]
@@ -216,16 +219,25 @@ mod tests {
     fn assume_defined_suppresses() {
         let src = "r(T, V) :- eval(T, V).";
         let ls = lint(&parse_program(src).unwrap(), &[("eval", 2)]);
-        assert!(!ls.iter().any(|l| l.kind == LintKind::UndefinedCall), "{ls:?}");
+        assert!(
+            !ls.iter().any(|l| l.kind == LintKind::UndefinedCall),
+            "{ls:?}"
+        );
     }
 
     #[test]
     fn singleton_detected_and_underscore_exempt() {
         let ls = lint(&parse_program("f(X, Y) :- g(X). g(_).").unwrap(), &[]);
-        assert!(ls.iter().any(|l| l.kind == LintKind::SingletonVariable
-            && l.detail.contains("variable Y")), "{ls:?}");
+        assert!(
+            ls.iter()
+                .any(|l| l.kind == LintKind::SingletonVariable && l.detail.contains("variable Y")),
+            "{ls:?}"
+        );
         let ls = lint(&parse_program("f(X, _Y) :- g(X). g(_).").unwrap(), &[]);
-        assert!(!ls.iter().any(|l| l.kind == LintKind::SingletonVariable), "{ls:?}");
+        assert!(
+            !ls.iter().any(|l| l.kind == LintKind::SingletonVariable),
+            "{ls:?}"
+        );
     }
 
     #[test]
@@ -233,7 +245,9 @@ mod tests {
         let src = "f(1). f(2). f(1).";
         let ls = lint(&parse_program(src).unwrap(), &[]);
         assert_eq!(
-            ls.iter().filter(|l| l.kind == LintKind::DuplicateRule).count(),
+            ls.iter()
+                .filter(|l| l.kind == LintKind::DuplicateRule)
+                .count(),
             1,
             "{ls:?}"
         );
@@ -243,7 +257,9 @@ mod tests {
     fn unassignable_target_detected() {
         let src = "f(X) :- 5 := X.";
         let ls = lint(&parse_program(src).unwrap(), &[]);
-        assert!(ls.iter().any(|l| l.kind == LintKind::UnassignableTarget), "{ls:?}");
+        assert!(
+            ls.iter().any(|l| l.kind == LintKind::UnassignableTarget),
+            "{ls:?}"
+        );
     }
-
 }

@@ -319,10 +319,7 @@ mod tests {
         let r = &p.get("r", 1).unwrap().rules[0];
         assert_eq!(r.body[0].annotation, Some(Annotation::Random));
         assert_eq!(r.body[1].annotation, Some(Annotation::Node(Ast::Int(3))));
-        assert_eq!(
-            r.body[2].annotation,
-            Some(Annotation::Node(Ast::var("J")))
-        );
+        assert_eq!(r.body[2].annotation, Some(Annotation::Node(Ast::var("J"))));
     }
 
     #[test]

@@ -90,10 +90,7 @@ fn fmt_at(t: &Ast, min: u8, f: &mut fmt::Formatter<'_>) -> fmt::Result {
 
 /// Quote an atom if it is not a plain lowercase identifier.
 fn atom_text(name: &str) -> String {
-    let plain = name
-        .chars()
-        .next()
-        .is_some_and(|c| c.is_ascii_lowercase())
+    let plain = name.chars().next().is_some_and(|c| c.is_ascii_lowercase())
         && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_');
     if plain {
         name.to_string()

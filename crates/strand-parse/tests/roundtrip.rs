@@ -42,11 +42,12 @@ fn call() -> impl Strategy<Value = Call> {
             Just(None),
             Just(Some(Annotation::Random)),
             Just(Some(Annotation::Task)),
-            ast().prop_filter("placement must be var/int/atom", |a| matches!(
-                a,
-                Ast::Var(_) | Ast::Int(_)
-            ))
-            .prop_map(|a| Some(Annotation::Node(a))),
+            ast()
+                .prop_filter("placement must be var/int/atom", |a| matches!(
+                    a,
+                    Ast::Var(_) | Ast::Int(_)
+                ))
+                .prop_map(|a| Some(Annotation::Node(a))),
         ],
     )
         .prop_map(|(name, args, annotation)| Call {

@@ -74,7 +74,8 @@ impl CallGraph {
 
     /// Does `caller` (transitively) reach `target`?
     pub fn reaches(&self, caller: &Key, target: &Key) -> bool {
-        self.ancestors_of(std::slice::from_ref(target)).contains(caller)
+        self.ancestors_of(std::slice::from_ref(target))
+            .contains(caller)
     }
 }
 

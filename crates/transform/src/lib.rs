@@ -43,7 +43,11 @@ impl TransformError {
 
 impl fmt::Display for TransformError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "transformation {}: {}", self.transformation, self.message)
+        write!(
+            f,
+            "transformation {}: {}",
+            self.transformation, self.message
+        )
     }
 }
 
@@ -84,10 +88,13 @@ impl Transformation for Identity {
     }
 }
 
+/// The boxed function type behind [`FnTransform`].
+pub type TransformFn = Box<dyn Fn(&Program) -> Result<Program, TransformError> + Send + Sync>;
+
 /// A transformation built from a plain function.
 pub struct FnTransform {
     name: String,
-    f: Box<dyn Fn(&Program) -> Result<Program, TransformError> + Send + Sync>,
+    f: TransformFn,
 }
 
 impl FnTransform {
@@ -199,9 +206,7 @@ mod tests {
 
     #[test]
     fn errors_carry_transformation_name() {
-        let t = FnTransform::new("failing", |_| {
-            Err(TransformError::new("failing", "nope"))
-        });
+        let t = FnTransform::new("failing", |_| Err(TransformError::new("failing", "nope")));
         let p = Program::new();
         let e = t.apply(&p).unwrap_err();
         assert_eq!(e.to_string(), "transformation failing: nope");

@@ -61,6 +61,10 @@ impl FreshVars {
     }
 }
 
+/// A primitive rewriter for [`thread_argument`]: given the call and the
+/// threaded variable, optionally produce a replacement call sequence.
+pub type PrimRewriter<'a> = &'a dyn Fn(&Call, &Ast, &mut FreshVars) -> Option<Vec<Call>>;
+
 /// Replace body calls throughout a program. For each call, `f` may return a
 /// replacement sequence (`Some`) or leave it unchanged (`None`). `f` gets a
 /// per-rule [`FreshVars`] supply for introducing new variables.
@@ -109,7 +113,7 @@ pub fn thread_argument(
     program: &Program,
     targets: &BTreeSet<Key>,
     var_base: &str,
-    rewrite_prim: &dyn Fn(&Call, &Ast, &mut FreshVars) -> Option<Vec<Call>>,
+    rewrite_prim: PrimRewriter<'_>,
 ) -> (Program, Vec<Key>) {
     let mut out = Program::new();
     let mut violations: Vec<Key> = Vec::new();
@@ -278,10 +282,7 @@ pub fn synthesize_dispatch_rules(types: &[Key]) -> Vec<Rule> {
         });
     }
     rules.push(Rule {
-        head: Ast::tuple(
-            "server",
-            vec![Ast::cons(Ast::atom("halt"), Ast::Wild)],
-        ),
+        head: Ast::tuple("server", vec![Ast::cons(Ast::atom("halt"), Ast::Wild)]),
         guards: vec![],
         body: vec![],
     });
@@ -299,8 +300,7 @@ mod tests {
 
     #[test]
     fn fresh_var_avoids_collisions() {
-        let taken: BTreeSet<String> =
-            ["DT".to_string(), "DT1".to_string()].into_iter().collect();
+        let taken: BTreeSet<String> = ["DT".to_string(), "DT1".to_string()].into_iter().collect();
         assert_eq!(fresh_var(&taken, "DT"), "DT2");
         assert_eq!(fresh_var(&taken, "X"), "X");
     }
@@ -343,21 +343,22 @@ mod tests {
         )
         .unwrap();
         let targets: BTreeSet<Key> = [key("reduce", 2), key("server", 1)].into_iter().collect();
-        let (out, violations) = thread_argument(&p, &targets, "DT", &|call, dt, _fresh| {
-            match call.goal.functor() {
-                Some(("send", 2)) => {
-                    let args = call.goal.args();
-                    Some(vec![Call::new(Ast::tuple(
-                        "distribute",
-                        vec![args[0].clone(), dt.clone(), args[1].clone()],
-                    ))])
-                }
-                Some(("nodes", 1)) => Some(vec![Call::new(Ast::tuple(
-                    "length",
-                    vec![dt.clone(), call.goal.args()[0].clone()],
-                ))]),
-                _ => None,
+        let (out, violations) = thread_argument(&p, &targets, "DT", &|call, dt, _fresh| match call
+            .goal
+            .functor()
+        {
+            Some(("send", 2)) => {
+                let args = call.goal.args();
+                Some(vec![Call::new(Ast::tuple(
+                    "distribute",
+                    vec![args[0].clone(), dt.clone(), args[1].clone()],
+                ))])
             }
+            Some(("nodes", 1)) => Some(vec![Call::new(Ast::tuple(
+                "length",
+                vec![dt.clone(), call.goal.args()[0].clone()],
+            ))]),
+            _ => None,
         });
         assert!(violations.is_empty());
         let s = pretty(&out);
@@ -398,7 +399,11 @@ mod tests {
             (call.goal.functor() == Some(("send", 2))).then(|| {
                 vec![Call::new(Ast::tuple(
                     "distribute",
-                    vec![call.goal.args()[0].clone(), dt.clone(), call.goal.args()[1].clone()],
+                    vec![
+                        call.goal.args()[0].clone(),
+                        dt.clone(),
+                        call.goal.args()[1].clone(),
+                    ],
                 ))]
             })
         });
@@ -472,7 +477,11 @@ mod tests {
             (call.goal.functor() == Some(("send", 2))).then(|| {
                 vec![Call::new(Ast::tuple(
                     "distribute",
-                    vec![call.goal.args()[0].clone(), dt.clone(), call.goal.args()[1].clone()],
+                    vec![
+                        call.goal.args()[0].clone(),
+                        dt.clone(),
+                        call.goal.args()[1].clone(),
+                    ],
                 ))]
             })
         });
@@ -513,11 +522,18 @@ mod tests {
         let targets: BTreeSet<Key> = [key("f", 1)].into_iter().collect();
         let (out, _) = thread_argument(&p, &targets, "DT", &|call, dt, _| {
             (call.goal.functor() == Some(("send", 2))).then(|| {
-                vec![Call::new(Ast::tuple("noted", vec![dt.clone(), call.goal.args()[1].clone()]))]
+                vec![Call::new(Ast::tuple(
+                    "noted",
+                    vec![dt.clone(), call.goal.args()[1].clone()],
+                ))]
             })
         });
         let s = pretty(&out);
-        assert_eq!(s.matches("f(A, DT)").count() + s.matches("f(B, DT)").count(), 2, "{s}");
+        assert_eq!(
+            s.matches("f(A, DT)").count() + s.matches("f(B, DT)").count(),
+            2,
+            "{s}"
+        );
     }
 
     #[test]

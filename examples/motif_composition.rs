@@ -10,11 +10,17 @@ use algorithmic_motifs::strand_parse::{parse_program, pretty};
 
 fn main() {
     let app = parse_program(ARITH_EVAL).expect("user eval parses");
-    println!("%%% The application program: eval/4 only %%%\n{}", pretty(&app));
+    println!(
+        "%%% The application program: eval/4 only %%%\n{}",
+        pretty(&app)
+    );
 
     // Stage 1: Tree1 (identity transformation + 5-line library).
     let stage1 = tree1().apply(&app).expect("Tree1");
-    println!("%%% Output of Tree-Reduce-1's first stage (Tree1) %%%\n{}", pretty(&stage1));
+    println!(
+        "%%% Output of Tree-Reduce-1's first stage (Tree1) %%%\n{}",
+        pretty(&stage1)
+    );
 
     // Stage 2: Rand (expand @random, synthesize server/1).
     let stage2 = rand_map().apply(&stage1).expect("Rand");
@@ -22,7 +28,10 @@ fn main() {
 
     // Stage 3: Server (thread DT, translate send/nodes/halt, link library).
     let stage3 = server().apply(&stage2).expect("Server");
-    println!("%%% Output of Server (executable parallel program) %%%\n{}", pretty(&stage3));
+    println!(
+        "%%% Output of Server (executable parallel program) %%%\n{}",
+        pretty(&stage3)
+    );
 
     // The equations of §2.2 hold: applying the composed motif in one step
     // produces the same program.

@@ -11,7 +11,9 @@
 //!
 //! With no arguments it runs a built-in demo (the paper's Figure 1).
 
-use algorithmic_motifs::strand_machine::{render_trace, run_goal, trace_summary, MachineConfig, RunStatus};
+use algorithmic_motifs::strand_machine::{
+    render_trace, run_goal, trace_summary, MachineConfig, RunStatus,
+};
 
 const DEMO: &str = r#"
 % The paper's Figure 1: a producer and consumer communicating by a
@@ -29,10 +31,14 @@ fn main() {
     let trace = args.iter().any(|a| a == "--trace");
     args.retain(|a| a != "--trace");
     let (source, goal, label) = match args.as_slice() {
-        [] => (DEMO.to_string(), "go(4)".to_string(), "<built-in demo>".to_string()),
+        [] => (
+            DEMO.to_string(),
+            "go(4)".to_string(),
+            "<built-in demo>".to_string(),
+        ),
         [file, goal, ..] => {
-            let src = std::fs::read_to_string(file)
-                .unwrap_or_else(|e| panic!("cannot read {file}: {e}"));
+            let src =
+                std::fs::read_to_string(file).unwrap_or_else(|e| panic!("cannot read {file}: {e}"));
             (src, goal.clone(), file.clone())
         }
         _ => {
@@ -59,7 +65,11 @@ fn main() {
     match result {
         Ok(r) => {
             if trace {
-                println!("--- trace ---\n{}--- {} ---\n", render_trace(&r.report.trace), trace_summary(&r.report.trace));
+                println!(
+                    "--- trace ---\n{}--- {} ---\n",
+                    render_trace(&r.report.trace),
+                    trace_summary(&r.report.trace)
+                );
             }
             for (name, value) in &r.bindings {
                 println!("{name} = {value}");

@@ -14,7 +14,9 @@ use algorithmic_motifs::strand_machine::{run_parsed_goal, MachineConfig};
 fn main() {
     // 120 tasks with skewed costs (the dynamic-balancing case the paper's
     // schedulers exist for).
-    let costs: Vec<u64> = (0..120).map(|i| if i % 17 == 0 { 400 } else { 20 }).collect();
+    let costs: Vec<u64> = (0..120)
+        .map(|i| if i % 17 == 0 { 400 } else { 20 })
+        .collect();
     let total: u64 = costs.iter().sum();
     println!("120 tasks, total work {total} ticks\n");
 
@@ -83,8 +85,6 @@ fn main() {
     println!(
         "
 @task pragma (Sched motif): 60 tasks, V = {}, makespan {}, status {:?}",
-        r3.bindings["V"],
-        r3.report.metrics.makespan,
-        r3.report.status
+        r3.bindings["V"], r3.report.metrics.makespan, r3.report.status
     );
 }

@@ -8,8 +8,7 @@
 //! ```
 
 use algorithmic_motifs::seqalign::{
-    align_family_parallel, align_family_seq, generate_family, guide_tree, FamilyParams,
-    ScoreParams,
+    align_family_parallel, align_family_seq, generate_family, guide_tree, FamilyParams, ScoreParams,
 };
 use algorithmic_motifs::skeletons::{Labeling, Pool};
 
@@ -21,14 +20,19 @@ fn main() {
         seed: 2026,
         ..Default::default()
     });
-    println!("family of {} sequences, lengths {:?}",
+    println!(
+        "family of {} sequences, lengths {:?}",
         fam.sequences.len(),
-        fam.sequences.iter().map(Vec::len).collect::<Vec<_>>());
+        fam.sequences.iter().map(Vec::len).collect::<Vec<_>>()
+    );
 
     // 2. Build the guide tree ("philogenetic tree" in the paper's words).
     let params = ScoreParams::default();
     let guide = guide_tree(&fam.sequences, &params);
-    println!("guide tree leaves (clustered order): {:?}", guide.leaf_ids());
+    println!(
+        "guide tree leaves (clustered order): {:?}",
+        guide.leaf_ids()
+    );
 
     // 3. Reduce the tree with the align-node operator — sequentially …
     let reference = align_family_seq(&fam.sequences, &params);

@@ -9,8 +9,8 @@ use algorithmic_motifs::strand_parse::{parse_program, pretty};
 fn every_catalog_source_parses_and_roundtrips() {
     for name in bench::MOTIF_SOURCES {
         let (title, src) = bench::motif_source(name).expect("catalog entry exists");
-        let program = parse_program(&src)
-            .unwrap_or_else(|e| panic!("{title} source does not parse: {e}"));
+        let program =
+            parse_program(&src).unwrap_or_else(|e| panic!("{title} source does not parse: {e}"));
         assert!(program.rule_count() > 0, "{title} has rules");
         let printed = pretty(&program);
         let reparsed = parse_program(&printed)
@@ -73,10 +73,7 @@ fn shipped_libraries_are_lint_clean() {
             .iter()
             .filter(|l| l.kind != LintKind::SingletonVariable)
             .collect();
-        assert!(
-            serious.is_empty(),
-            "{title} has lint findings: {serious:?}"
-        );
+        assert!(serious.is_empty(), "{title} has lint findings: {serious:?}");
     }
 }
 
@@ -112,7 +109,6 @@ fn libraries_have_no_unresolved_pragmas_after_their_motifs() {
         let program = motif
             .apply_src(app)
             .unwrap_or_else(|e| panic!("{name} fails to apply: {e}"));
-        compile_program(&program)
-            .unwrap_or_else(|e| panic!("{name} output fails to compile: {e}"));
+        compile_program(&program).unwrap_or_else(|e| panic!("{name} output fails to compile: {e}"));
     }
 }

@@ -1,0 +1,262 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Exposes the same bench-definition surface the workspace benches use
+//! (`criterion_group!`/`criterion_main!`, `Criterion::bench_function`,
+//! groups with `sample_size`/`bench_with_input`) but measures with a simple
+//! warmup-plus-median loop and prints one line per benchmark. No plots, no
+//! statistics machinery — enough to time hot paths offline and to keep
+//! `cargo bench` working without the real crate.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a computed value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level bench driver; collect with [`Criterion::default`] and pass to
+/// group functions.
+pub struct Criterion {
+    filter: Option<String>,
+    sample_size: usize,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // cargo bench passes flags like `--bench`; the first non-flag
+        // argument is a name filter, matching criterion's CLI behaviour.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion {
+            filter,
+            sample_size: 10,
+            measurement: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    fn should_run(&self, id: &str) -> bool {
+        match &self.filter {
+            Some(f) => id.contains(f.as_str()),
+            None => true,
+        }
+    }
+
+    fn run_one(&self, id: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+        if !self.should_run(id) {
+            return;
+        }
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size,
+            measurement: self.measurement,
+        };
+        f(&mut bencher);
+        bencher.report(id);
+    }
+
+    pub fn bench_function(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Criterion {
+        let n = self.sample_size;
+        self.run_one(id, n, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    fn effective_samples(&self) -> usize {
+        self.sample_size.unwrap_or(self.criterion.sample_size)
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id);
+        let n = self.effective_samples();
+        self.criterion.run_one(&full, n, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id);
+        let n = self.effective_samples();
+        self.criterion.run_one(&full, n, &mut |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Identifier `function_name/parameter` for parameterized benches.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            text: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId {
+            text: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { text: s }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Passed to the measured closure; call [`Bencher::iter`] with the routine.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    measurement: Duration,
+}
+
+impl Bencher {
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Warmup + calibration: run once to size the per-sample iteration
+        // count so one sample stays well under the measurement budget.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let budget = self.measurement / (self.sample_size.max(1) as u32);
+        let iters = (budget.as_nanos() / once.as_nanos()).clamp(1, 10_000) as u32;
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / iters);
+        }
+    }
+
+    fn report(&mut self, id: &str) {
+        if self.samples.is_empty() {
+            return;
+        }
+        self.samples.sort();
+        let median = self.samples[self.samples.len() / 2];
+        let min = self.samples[0];
+        let max = self.samples[self.samples.len() - 1];
+        println!(
+            "{id:<50} median {:>12} (min {:?}, max {:?})",
+            format!("{median:?}"),
+            min,
+            max
+        );
+    }
+}
+
+/// Define a bench group function from target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Define `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $group(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion {
+            filter: None,
+            sample_size: 3,
+            measurement: Duration::from_millis(5),
+        };
+        let mut ran = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn group_filtering() {
+        let mut c = Criterion {
+            filter: Some("nomatch".into()),
+            sample_size: 3,
+            measurement: Duration::from_millis(5),
+        };
+        let mut ran = false;
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(2).bench_function("case", |b| {
+            b.iter(|| ran = true);
+        });
+        g.finish();
+        assert!(!ran);
+    }
+}

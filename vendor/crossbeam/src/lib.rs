@@ -1,0 +1,402 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Implements the API subset the workspace uses — `deque::{Worker, Stealer,
+//! Injector, Steal}` and `channel::{bounded, Sender, Receiver}` — on plain
+//! `std::sync` primitives. Lock-based rather than lock-free, so it is slower
+//! under contention but observationally equivalent: FIFO worker deques,
+//! batch-stealing that migrates work, and bounded channels that close when
+//! the last peer drops.
+
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    fn locked<T>(q: &Mutex<VecDeque<T>>) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        q.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Outcome of a steal attempt. This stub never yields `Retry`, but the
+    /// variant exists because callers match on it.
+    pub enum Steal<T> {
+        Empty,
+        Success(T),
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(v) => Some(v),
+                _ => None,
+            }
+        }
+    }
+
+    /// A worker's local FIFO queue.
+    pub struct Worker<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        pub fn new_fifo() -> Worker<T> {
+            Worker {
+                queue: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        pub fn push(&self, value: T) {
+            locked(&self.queue).push_back(value);
+        }
+
+        pub fn pop(&self) -> Option<T> {
+            locked(&self.queue).pop_front()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            locked(&self.queue).is_empty()
+        }
+
+        pub fn len(&self) -> usize {
+            locked(&self.queue).len()
+        }
+
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    /// Handle for stealing from another worker's queue.
+    pub struct Stealer<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Stealer<T> {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        pub fn steal(&self) -> Steal<T> {
+            match locked(&self.queue).pop_front() {
+                Some(v) => Steal::Success(v),
+                None => Steal::Empty,
+            }
+        }
+
+        pub fn is_empty(&self) -> bool {
+            locked(&self.queue).is_empty()
+        }
+    }
+
+    /// A shared FIFO injector queue.
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Injector<T> {
+            Injector::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        pub fn new() -> Injector<T> {
+            Injector {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        pub fn push(&self, value: T) {
+            locked(&self.queue).push_back(value);
+        }
+
+        pub fn steal(&self) -> Steal<T> {
+            match locked(&self.queue).pop_front() {
+                Some(v) => Steal::Success(v),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Move up to half of the queue (at least one item) into `dest`,
+        /// returning one stolen item directly.
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            let mut q = locked(&self.queue);
+            let first = match q.pop_front() {
+                Some(v) => v,
+                None => return Steal::Empty,
+            };
+            let extra = q.len() / 2;
+            for _ in 0..extra {
+                match q.pop_front() {
+                    Some(v) => dest.push(v),
+                    None => break,
+                }
+            }
+            Steal::Success(first)
+        }
+
+        pub fn is_empty(&self) -> bool {
+            locked(&self.queue).is_empty()
+        }
+
+        pub fn len(&self) -> usize {
+            locked(&self.queue).len()
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Same batch semantics as [`Injector::steal_batch_and_pop`].
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            let mut q = locked(&self.queue);
+            let first = match q.pop_front() {
+                Some(v) => v,
+                None => return Steal::Empty,
+            };
+            let extra = q.len() / 2;
+            for _ in 0..extra {
+                match q.pop_front() {
+                    Some(v) => dest.push(v),
+                    None => break,
+                }
+            }
+            Steal::Success(first)
+        }
+    }
+}
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Chan<T> {
+        state: Mutex<ChanState<T>>,
+        /// Signalled when an item arrives or all senders disconnect.
+        recv_cv: Condvar,
+        /// Signalled when space frees up or the receiver side disconnects.
+        send_cv: Condvar,
+    }
+
+    struct ChanState<T> {
+        queue: VecDeque<T>,
+        capacity: usize,
+        senders: usize,
+        receivers: usize,
+    }
+
+    /// Error returned by [`Sender::send`] when every receiver is gone; the
+    /// unsent value is handed back.
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// every sender is gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Create a bounded MPMC channel with the given capacity.
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            state: Mutex::new(ChanState {
+                queue: VecDeque::new(),
+                // A rendezvous channel (capacity 0) degenerates to
+                // capacity 1 in this stub; callers here never use 0.
+                capacity: capacity.max(1),
+                senders: 1,
+                receivers: 1,
+            }),
+            recv_cv: Condvar::new(),
+            send_cv: Condvar::new(),
+        });
+        (
+            Sender {
+                chan: Arc::clone(&chan),
+            },
+            Receiver { chan },
+        )
+    }
+
+    pub struct Sender<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    impl<T> Sender<T> {
+        /// Block until there is space, then enqueue. Fails only when every
+        /// receiver has been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut st = self.chan.state.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                if st.queue.len() < st.capacity {
+                    st.queue.push_back(value);
+                    self.chan.recv_cv.notify_one();
+                    return Ok(());
+                }
+                st = self
+                    .chan
+                    .send_cv
+                    .wait(st)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            let mut st = self.chan.state.lock().unwrap_or_else(|e| e.into_inner());
+            st.senders += 1;
+            drop(st);
+            Sender {
+                chan: Arc::clone(&self.chan),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.chan.state.lock().unwrap_or_else(|e| e.into_inner());
+            st.senders -= 1;
+            if st.senders == 0 {
+                self.chan.recv_cv.notify_all();
+            }
+        }
+    }
+
+    pub struct Receiver<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Block for the next item; errs once the channel is drained and
+        /// every sender is gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.chan.state.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    self.chan.send_cv.notify_one();
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self
+                    .chan
+                    .recv_cv
+                    .wait(st)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        /// Blocking iterator that ends when the channel closes.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { receiver: self }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Receiver<T> {
+            let mut st = self.chan.state.lock().unwrap_or_else(|e| e.into_inner());
+            st.receivers += 1;
+            drop(st);
+            Receiver {
+                chan: Arc::clone(&self.chan),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = self.chan.state.lock().unwrap_or_else(|e| e.into_inner());
+            st.receivers -= 1;
+            if st.receivers == 0 {
+                self.chan.send_cv.notify_all();
+            }
+        }
+    }
+
+    pub struct Iter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.receiver.recv().ok()
+        }
+    }
+
+    impl<'a, T> IntoIterator for &'a Receiver<T> {
+        type Item = T;
+        type IntoIter = Iter<'a, T>;
+        fn into_iter(self) -> Iter<'a, T> {
+            self.iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::bounded;
+    use super::deque::{Injector, Steal, Worker};
+
+    #[test]
+    fn worker_fifo_order() {
+        let w = Worker::new_fifo();
+        w.push(1);
+        w.push(2);
+        assert_eq!(w.pop(), Some(1));
+        let s = w.stealer();
+        assert!(matches!(s.steal(), Steal::Success(2)));
+        assert!(s.steal().is_empty());
+    }
+
+    #[test]
+    fn injector_batch_steal_migrates_work() {
+        let inj = Injector::new();
+        for i in 0..6 {
+            inj.push(i);
+        }
+        let local = Worker::new_fifo();
+        match inj.steal_batch_and_pop(&local) {
+            Steal::Success(v) => assert_eq!(v, 0),
+            _ => panic!("expected a stolen item"),
+        }
+        assert!(!local.is_empty());
+        assert!(local.len() + inj.len() == 5);
+    }
+
+    #[test]
+    fn channel_closes_when_senders_drop() {
+        let (tx, rx) = bounded::<u32>(2);
+        let h = std::thread::spawn(move || {
+            for i in 0..10 {
+                tx.send(i).unwrap();
+            }
+        });
+        let got: Vec<u32> = rx.iter().collect();
+        h.join().unwrap();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn send_fails_without_receiver() {
+        let (tx, rx) = bounded::<u32>(1);
+        drop(rx);
+        assert!(tx.send(7).is_err());
+    }
+}

@@ -1,0 +1,172 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The registry is unreachable in this build environment, so the workspace
+//! vendors the subset of proptest it uses: the `proptest!`/`prop_assert*`/
+//! `prop_oneof!` macros, `Strategy` with `prop_map`/`prop_filter`/
+//! `prop_recursive`, `any`, `Just`, range and regex-literal strategies, and
+//! `collection::{vec, btree_set}`.
+//!
+//! Differences from real proptest, by design: generation is driven by a
+//! fixed per-test seed (fully deterministic, no persisted failure files) and
+//! failing cases are reported but not shrunk. Shrinking only affects how
+//! readable a counterexample is, not whether one is found.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection {
+    use crate::strategy::{SizeRange, Strategy, StrategyFn};
+    use std::collections::BTreeSet;
+
+    /// Strategy for vectors whose length is drawn from `size`.
+    pub fn vec<S>(element: S, size: impl Into<SizeRange>) -> StrategyFn<Vec<S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        let size = size.into();
+        StrategyFn::new(move |rng| {
+            let n = size.pick(rng);
+            (0..n).map(|_| element.new_value(rng)).collect()
+        })
+    }
+
+    /// Strategy for ordered sets; sizes are best-effort since duplicate
+    /// draws collapse.
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> StrategyFn<BTreeSet<S::Value>>
+    where
+        S: Strategy + 'static,
+        S::Value: Ord,
+    {
+        let size = size.into();
+        StrategyFn::new(move |rng| {
+            let want = size.pick(rng);
+            let mut out = BTreeSet::new();
+            // Bounded attempts: a narrow domain may not hold `want`
+            // distinct values.
+            for _ in 0..want.saturating_mul(8).max(8) {
+                if out.len() >= want {
+                    break;
+                }
+                out.insert(element.new_value(rng));
+            }
+            out
+        })
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy, StrategyFn};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Uniform choice between strategies, all yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::union(vec![
+            $( $crate::strategy::Strategy::boxed($strategy) ),+
+        ])
+    };
+}
+
+/// Property-test entry point: wraps each `fn name(arg in strategy, ...)`
+/// item in a deterministic generate-and-run loop.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($config:expr) ) => {};
+    ( ($config:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            let mut rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+            for case in 0..config.cases {
+                $(
+                    let $arg =
+                        $crate::strategy::Strategy::new_value(&($strategy), &mut rng);
+                )+
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest {} failed at case {}/{}: {}",
+                        stringify!($name),
+                        case + 1,
+                        config.cases,
+                        e
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}
+
+/// Assert inside a `proptest!` body; failure aborts the case with a
+/// [`test_runner::TestCaseError`] instead of unwinding.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Equality assert inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(left == right, $($fmt)+);
+    }};
+}
+
+/// Inequality assert inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+}

@@ -1,0 +1,521 @@
+//! Strategies: composable deterministic value generators.
+//!
+//! The central type is [`StrategyFn`], a cheaply clonable boxed generator;
+//! every combinator lowers to it. Primitive strategies exist for integer
+//! ranges, `Just`, tuples of strategies, and string literals interpreted as
+//! a small regex subset (character classes with ranges, escapes and `&&[^…]`
+//! subtraction, plus `{m,n}` quantifiers) — the subset the workspace's
+//! property tests rely on.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+/// A generator of values of some type.
+pub trait Strategy {
+    type Value;
+
+    /// Produce one value. (Real proptest returns a shrinkable tree; this
+    /// stub generates final values directly and does not shrink.)
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Type-erase into a [`StrategyFn`].
+    fn boxed(self) -> StrategyFn<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        StrategyFn::new(move |rng| self.new_value(rng))
+    }
+
+    /// Transform generated values.
+    fn prop_map<U, F>(self, map: F) -> StrategyFn<U>
+    where
+        Self: Sized + 'static,
+        F: Fn(Self::Value) -> U + 'static,
+    {
+        StrategyFn::new(move |rng| map(self.new_value(rng)))
+    }
+
+    /// Keep only values satisfying `pred`, regenerating otherwise.
+    fn prop_filter<F>(self, whence: &'static str, pred: F) -> StrategyFn<Self::Value>
+    where
+        Self: Sized + 'static,
+        F: Fn(&Self::Value) -> bool + 'static,
+    {
+        StrategyFn::new(move |rng| {
+            for _ in 0..1000 {
+                let v = self.new_value(rng);
+                if pred(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter rejected 1000 candidates in a row: {whence}");
+        })
+    }
+
+    /// Build a recursive strategy: `self` is the leaf case and `recurse`
+    /// lifts a strategy for depth-k values to depth-k+1. `depth` bounds
+    /// nesting; the size/branch hints of real proptest are accepted but
+    /// unused (container strategies bound their own lengths here).
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> StrategyFn<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+        F: Fn(StrategyFn<Self::Value>) -> S2,
+    {
+        let leaf = self.boxed();
+        let mut current = leaf.clone();
+        for _ in 0..depth {
+            let deeper = recurse(current).boxed();
+            let leaf = leaf.clone();
+            // One level up: usually recurse, sometimes bottom out early so
+            // shallow values stay represented at every depth.
+            current = StrategyFn::new(move |rng| {
+                if rng.below(3) == 0 {
+                    leaf.new_value(rng)
+                } else {
+                    deeper.new_value(rng)
+                }
+            });
+        }
+        current
+    }
+}
+
+/// Type-erased strategy; clones share the generator.
+pub struct StrategyFn<T> {
+    generate: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for StrategyFn<T> {
+    fn clone(&self) -> StrategyFn<T> {
+        StrategyFn {
+            generate: Rc::clone(&self.generate),
+        }
+    }
+}
+
+impl<T> StrategyFn<T> {
+    pub fn new(generate: impl Fn(&mut TestRng) -> T + 'static) -> StrategyFn<T> {
+        StrategyFn {
+            generate: Rc::new(generate),
+        }
+    }
+}
+
+impl<T> Strategy for StrategyFn<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        (self.generate)(rng)
+    }
+}
+
+/// Uniform choice among already-boxed strategies (backs `prop_oneof!`).
+pub fn union<T: 'static>(options: Vec<StrategyFn<T>>) -> StrategyFn<T> {
+    assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+    StrategyFn::new(move |rng| {
+        let k = rng.below(options.len() as u64) as usize;
+        options[k].new_value(rng)
+    })
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The canonical strategy for `T`: uniform over the whole domain.
+pub fn any<T: Arbitrary + 'static>() -> StrategyFn<T> {
+    StrategyFn::new(T::arbitrary)
+}
+
+macro_rules! arbitrary_int {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut TestRng) -> $ty {
+                rng.next_u64() as $ty
+            }
+        }
+
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn new_value(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                // Offset arithmetic in u64 handles negative bounds.
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $ty
+            }
+        }
+
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+            fn new_value(&self, rng: &mut TestRng) -> $ty {
+                let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    rng.next_u64() as $ty
+                } else {
+                    (lo + rng.below(span + 1) as i128) as $ty
+                }
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.below(2) == 1
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.new_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+}
+
+/// A string literal is a strategy via the regex subset in [`regex`].
+impl Strategy for &'static str {
+    type Value = String;
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        regex::generate(self, rng)
+    }
+}
+
+/// Collection-size specification accepted by `collection::vec` and friends.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    min: usize,
+    /// Inclusive.
+    max: usize,
+}
+
+impl SizeRange {
+    pub fn pick(&self, rng: &mut TestRng) -> usize {
+        rng.in_range_inclusive(self.min as u64, self.max as u64) as usize
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> SizeRange {
+        SizeRange {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { min: n, max: n }
+    }
+}
+
+mod regex {
+    //! Generator for the regex subset used as string strategies:
+    //! literal characters, `[…]` classes (ranges, escapes, and `&&[^…]`
+    //! class subtraction), and `{m}` / `{m,n}` quantifiers.
+
+    use crate::test_runner::TestRng;
+
+    struct Piece {
+        choices: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let pieces = parse(pattern);
+        let mut out = String::new();
+        for p in &pieces {
+            let n = rng.in_range_inclusive(p.min as u64, p.max as u64) as usize;
+            for _ in 0..n {
+                let k = rng.below(p.choices.len() as u64) as usize;
+                out.push(p.choices[k]);
+            }
+        }
+        out
+    }
+
+    fn parse(pattern: &str) -> Vec<Piece> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut i = 0;
+        let mut pieces = Vec::new();
+        while i < chars.len() {
+            let choices = match chars[i] {
+                '[' => {
+                    let (set, next) = parse_class(&chars, i + 1);
+                    i = next;
+                    set
+                }
+                '\\' => {
+                    i += 1;
+                    let c = escaped(chars[i]);
+                    i += 1;
+                    vec![c]
+                }
+                c => {
+                    i += 1;
+                    vec![c]
+                }
+            };
+            assert!(!choices.is_empty(), "empty character class in {pattern:?}");
+            let (min, max) = if i < chars.len() && chars[i] == '{' {
+                let (m, n, next) = parse_quantifier(&chars, i + 1);
+                i = next;
+                (m, n)
+            } else {
+                (1, 1)
+            };
+            pieces.push(Piece { choices, min, max });
+        }
+        pieces
+    }
+
+    fn escaped(c: char) -> char {
+        match c {
+            'n' => '\n',
+            't' => '\t',
+            'r' => '\r',
+            other => other,
+        }
+    }
+
+    /// Parse a class body starting just after `[`; returns the resolved
+    /// character set and the index just past the closing `]`.
+    fn parse_class(chars: &[char], mut i: usize) -> (Vec<char>, usize) {
+        let negated = chars[i] == '^';
+        if negated {
+            i += 1;
+        }
+        let mut include: Vec<char> = Vec::new();
+        let mut intersections: Vec<Vec<char>> = Vec::new();
+        while chars[i] != ']' {
+            if chars[i] == '&' && chars[i + 1] == '&' {
+                // `&&[…]` intersects with the nested class; with a negated
+                // nested class (`&&[^…]`) this is class subtraction.
+                assert!(chars[i + 2] == '[', "expected class after &&");
+                let (nested, next) = parse_class(chars, i + 3);
+                i = next;
+                intersections.push(nested);
+                continue;
+            }
+            let lo = if chars[i] == '\\' {
+                i += 1;
+                let c = escaped(chars[i]);
+                i += 1;
+                c
+            } else {
+                let c = chars[i];
+                i += 1;
+                c
+            };
+            if chars[i] == '-' && chars[i + 1] != ']' {
+                i += 1;
+                let hi = if chars[i] == '\\' {
+                    i += 1;
+                    let c = escaped(chars[i]);
+                    i += 1;
+                    c
+                } else {
+                    let c = chars[i];
+                    i += 1;
+                    c
+                };
+                include.extend((lo as u32..=hi as u32).filter_map(char::from_u32));
+            } else {
+                include.push(lo);
+            }
+        }
+        i += 1; // consume ']'
+        let mut set = if negated {
+            // Negation relative to printable ASCII.
+            (' '..='~').filter(|c| !include.contains(c)).collect()
+        } else {
+            include
+        };
+        for allowed in &intersections {
+            set.retain(|c| allowed.contains(c));
+        }
+        (set, i)
+    }
+
+    /// Parse `{m}` or `{m,n}` starting just after `{`; returns
+    /// `(min, max, index just past '}')`.
+    fn parse_quantifier(chars: &[char], mut i: usize) -> (usize, usize, usize) {
+        let read_number = |i: &mut usize| {
+            let mut v = 0usize;
+            while chars[*i].is_ascii_digit() {
+                v = v * 10 + (chars[*i] as usize - '0' as usize);
+                *i += 1;
+            }
+            v
+        };
+        let m = read_number(&mut i);
+        let n = if chars[i] == ',' {
+            i += 1;
+            read_number(&mut i)
+        } else {
+            m
+        };
+        assert!(chars[i] == '}', "unterminated quantifier");
+        (m, n, i + 1)
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        fn rng() -> TestRng {
+            TestRng::from_seed(42)
+        }
+
+        #[test]
+        fn identifier_shapes() {
+            let mut rng = rng();
+            for _ in 0..200 {
+                let s = generate("[a-z][a-z0-9_]{0,6}", &mut rng);
+                assert!(!s.is_empty() && s.len() <= 7, "{s:?}");
+                let mut cs = s.chars();
+                assert!(cs.next().unwrap().is_ascii_lowercase());
+                assert!(cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+            }
+        }
+
+        #[test]
+        fn class_subtraction_excludes() {
+            let mut rng = rng();
+            for _ in 0..300 {
+                // Printable ASCII minus quote, backslash, apostrophe
+                // (source form of the round-trip test's string strategy).
+                let s = generate("[ -~&&[^\"\\\\']]{0,6}", &mut rng);
+                assert!(s.len() <= 6);
+                for c in s.chars() {
+                    assert!((' '..='~').contains(&c));
+                    assert!(c != '"' && c != '\\' && c != '\'', "{s:?}");
+                }
+            }
+        }
+
+        #[test]
+        fn plain_range_class() {
+            let mut rng = rng();
+            for _ in 0..100 {
+                let s = generate("[ -~]{0,8}", &mut rng);
+                assert!(s.len() <= 8);
+                assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_seed(7)
+    }
+
+    #[test]
+    fn ranges_hit_bounds_only() {
+        let mut rng = rng();
+        let s = -3i64..3;
+        for _ in 0..500 {
+            let v = s.new_value(&mut rng);
+            assert!((-3..3).contains(&v));
+        }
+    }
+
+    #[test]
+    fn map_filter_compose() {
+        let mut rng = rng();
+        let evens = (0u32..100)
+            .prop_map(|v| v * 2)
+            .prop_filter("must stay even", |v| v % 2 == 0);
+        for _ in 0..100 {
+            assert!(evens.new_value(&mut rng) % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn recursive_strategy_bounds_depth() {
+        #[derive(Debug)]
+        enum T {
+            Leaf,
+            Node(Vec<T>),
+        }
+        fn depth(t: &T) -> usize {
+            match t {
+                T::Leaf => 0,
+                T::Node(cs) => 1 + cs.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let mut rng = rng();
+        let strat = Just(())
+            .prop_map(|_| T::Leaf)
+            .prop_recursive(3, 8, 2, |inner| {
+                crate::collection::vec(inner, 0..3).prop_map(T::Node)
+            });
+        for _ in 0..200 {
+            assert!(depth(&strat.new_value(&mut rng)) <= 3);
+        }
+    }
+
+    #[test]
+    fn union_picks_every_arm() {
+        let mut rng = rng();
+        let s = union(vec![Just(1u8).boxed(), Just(2u8).boxed()]);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[s.new_value(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2]);
+    }
+}
