@@ -1,11 +1,21 @@
 //! Regenerate the experiment tables of EXPERIMENTS.md.
 //!
 //! Usage: `motif-bench [experiment...]` — with no arguments, runs them all.
-//! Experiment names: see `motif-bench list`.
+//! Experiment names: see `motif-bench list`. Machine-readable outputs
+//! (`machine-json`, `parallel-json`) default to files under `out/`, which
+//! is gitignored.
 
 /// Counting allocator so `machine-json` can report allocations/reduction.
 #[global_allocator]
 static ALLOC: bench::counting_alloc::CountingAllocator = bench::counting_alloc::CountingAllocator;
+
+fn ensure_parent(path: &str) {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -15,7 +25,8 @@ fn main() {
         let path = args
             .get(1)
             .map(String::as_str)
-            .unwrap_or("BENCH_machine.json");
+            .unwrap_or("out/BENCH_machine.json");
+        ensure_parent(path);
         let previous = std::fs::read_to_string(path).ok();
         let reports = bench::machine_bench::run_machine_bench(previous.as_deref());
         let json = bench::machine_bench::render_json(&reports);
@@ -28,6 +39,33 @@ fn main() {
                 r.reductions_per_sec,
                 r.speedup_vs_baseline(),
                 r.allocs_per_reduction
+            );
+        }
+        return;
+    }
+    if args.first().map(String::as_str) == Some("parallel-json") {
+        // B-series: wall-clock speedup of the multi-threaded backend.
+        // `--quick` is the CI smoke configuration (small workloads, 2
+        // threads); the full run sweeps 1/2/4/8 threads.
+        let quick = args.iter().any(|a| a == "--quick");
+        let path = args
+            .get(1)
+            .filter(|a| !a.starts_with("--"))
+            .map(String::as_str)
+            .unwrap_or("out/BENCH_parallel.json");
+        ensure_parent(path);
+        let points = bench::b1_parallel(quick);
+        let json = bench::render_parallel_json(&points);
+        std::fs::write(path, &json).expect("write parallel bench json");
+        print!("{json}");
+        for p in &points {
+            eprintln!(
+                "{:<16} {:<10} {} threads: {:>9.2} ms ({:>5.2}x)",
+                p.workload,
+                p.backend,
+                p.threads,
+                p.wall_ns as f64 / 1e6,
+                p.speedup
             );
         }
         return;

@@ -1117,6 +1117,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "a2-faults",
     "e8-sim",
     "e1-threads",
+    "b1-parallel",
 ];
 
 /// Run one experiment by name, returning its rendered output.
@@ -1142,6 +1143,7 @@ pub fn run_experiment(name: &str) -> Option<String> {
         "a2-faults" => a2_faults().render(),
         "e8-sim" => e8_sim().render(),
         "e1-threads" => e1_threads().render(),
+        "b1-parallel" => crate::parallel_bench::b1_parallel_table(false).render(),
         _ => return None,
     })
 }

@@ -14,7 +14,9 @@
 pub mod counting_alloc;
 pub mod experiments;
 pub mod machine_bench;
+pub mod parallel_bench;
 pub mod table;
 
 pub use experiments::*;
+pub use parallel_bench::{b1_parallel, render_parallel_json, ParallelPoint};
 pub use table::Table;

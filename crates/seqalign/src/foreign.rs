@@ -81,6 +81,22 @@ pub fn register_align_node(machine: &mut Machine, params: ScoreParams, cost_divi
     });
 }
 
+/// The same `align_node/3` as a *pure* foreign library: alignment depends
+/// only on its arguments, so the multi-threaded backend may compute it
+/// outside the machine lock (and overlapped with other alignments). Install
+/// with [`strand_machine::run_parsed_goal_with_lib`] on either backend.
+pub fn align_lib(params: ScoreParams, cost_divisor: u64) -> strand_machine::ForeignLib {
+    let mut lib = strand_machine::ForeignLib::new();
+    lib.register("align_node", 3, move |args| {
+        let a = term_to_profile(&args[0])?;
+        let b = term_to_profile(&args[1])?;
+        let cost = (a.len() as u64 * b.len() as u64) / cost_divisor.max(1) + 1;
+        let merged = align_profiles(&a, &b, &params).profile;
+        Ok((profile_to_term(&merged), cost))
+    });
+    lib
+}
+
 /// Render a guide tree over sequences as a motif-language tree term whose
 /// leaves are the sequence strings: `tree(n, leaf("ACGU…"), …)`.
 pub fn guide_tree_src(tree: &Phylo, seqs: &[Vec<u8>]) -> String {

@@ -30,7 +30,7 @@ pub use affine::{align_profiles_affine, AffineParams};
 pub use align::{align_profiles, pair_distance, Alignment, Profile, ScoreParams};
 pub use fasta::{parse_fasta, render_alignment, to_fasta};
 pub use foreign::{
-    guide_tree_src, profile_to_term, register_align_node, term_to_profile, ALIGN_EVAL,
+    align_lib, guide_tree_src, profile_to_term, register_align_node, term_to_profile, ALIGN_EVAL,
 };
 pub use msa::{align_family_parallel, align_family_seq, alignment_tree};
 pub use rna::{generate_family, random_sequence, Family, FamilyParams, Phylo};

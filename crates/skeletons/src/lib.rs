@@ -28,7 +28,7 @@ pub mod stencil;
 pub mod tree;
 
 pub use farm::{farm, farm_chunked, Policy};
-pub use pool::{Pool, TaskGroup, WorkerSnapshot};
+pub use pool::{Pool, TaskGroup, WorkerSet, WorkerSnapshot};
 pub use tree::{
     int_eval, random_int_tree, reduce, reduce_seq, Labeling, MemSize, ReduceOutcome, Tree,
 };

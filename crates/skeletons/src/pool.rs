@@ -22,6 +22,47 @@ use std::time::{Duration, Instant};
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
+/// A set of named OS worker threads with idempotent teardown — the
+/// spawn/join scaffolding shared by the skeleton [`Pool`] and the
+/// `strand-parallel` execution backend's node workers.
+pub struct WorkerSet {
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl WorkerSet {
+    /// Spawn `n` workers named `{name_prefix}-{idx}`, each running the body
+    /// produced for its index. Worker bodies are responsible for exiting on
+    /// their own shutdown signal; [`WorkerSet::join`] only waits.
+    pub fn spawn(
+        n: usize,
+        name_prefix: &str,
+        mut make_worker: impl FnMut(usize) -> Box<dyn FnOnce() + Send>,
+    ) -> WorkerSet {
+        assert!(n > 0, "worker set needs at least one worker");
+        let handles = (0..n)
+            .map(|idx| {
+                let body = make_worker(idx);
+                std::thread::Builder::new()
+                    .name(format!("{name_prefix}-{idx}"))
+                    .spawn(body)
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        WorkerSet {
+            handles: Mutex::new(handles),
+        }
+    }
+
+    /// Join every worker. Idempotent: later calls (and calls racing from
+    /// several clones of an owner) are no-ops.
+    pub fn join(&self) {
+        let mut handles = self.handles.lock();
+        for h in handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
 /// Per-worker execution counters.
 #[derive(Debug, Default)]
 pub struct WorkerStats {
@@ -55,7 +96,7 @@ struct Shared {
 #[derive(Clone)]
 pub struct Pool {
     shared: Arc<Shared>,
-    handles: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    workers: Arc<WorkerSet>,
 }
 
 impl Pool {
@@ -65,8 +106,12 @@ impl Pool {
     /// machines, where work never migrated without an explicit message).
     pub fn new(n: usize, steal: bool) -> Pool {
         assert!(n > 0, "pool needs at least one worker");
-        let locals: Vec<Worker<Job>> = (0..n).map(|_| Worker::new_fifo()).collect();
-        let stealers = locals.iter().map(Worker::stealer).collect();
+        let mut locals: Vec<Option<Worker<Job>>> =
+            (0..n).map(|_| Some(Worker::new_fifo())).collect();
+        let stealers = locals
+            .iter()
+            .map(|w| w.as_ref().expect("fresh local").stealer())
+            .collect();
         let shared = Arc::new(Shared {
             global: Injector::new(),
             assigned: (0..n).map(|_| Injector::new()).collect(),
@@ -77,20 +122,14 @@ impl Pool {
             wakeup: Condvar::new(),
             stats: (0..n).map(|_| WorkerStats::default()).collect(),
         });
-        let handles = locals
-            .into_iter()
-            .enumerate()
-            .map(|(idx, local)| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("skeleton-worker-{idx}"))
-                    .spawn(move || worker_loop(shared, idx, local))
-                    .expect("spawn worker thread")
-            })
-            .collect();
+        let workers = WorkerSet::spawn(n, "skeleton-worker", |idx| {
+            let shared = Arc::clone(&shared);
+            let local = locals[idx].take().expect("one spawn per worker");
+            Box::new(move || worker_loop(shared, idx, local))
+        });
         Pool {
             shared,
-            handles: Arc::new(Mutex::new(handles)),
+            workers: Arc::new(workers),
         }
     }
 
@@ -143,16 +182,13 @@ impl Pool {
     pub fn shutdown(&self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         self.shared.wakeup.notify_all();
-        let mut handles = self.handles.lock();
-        for h in handles.drain(..) {
-            let _ = h.join();
-        }
+        self.workers.join();
     }
 }
 
 impl Drop for Pool {
     fn drop(&mut self) {
-        if Arc::strong_count(&self.handles) == 1 {
+        if Arc::strong_count(&self.workers) == 1 {
             self.shutdown();
         }
     }

@@ -392,12 +392,7 @@ mod tests {
             Labeling::Static,
         ] {
             let pool = Pool::new(workers, false);
-            let out = reduce(
-                &pool,
-                random_int_tree(leaves, seed),
-                labeling,
-                |op, l, r| int_eval(op, l, r),
-            );
+            let out = reduce(&pool, random_int_tree(leaves, seed), labeling, int_eval);
             assert_eq!(out.value, expected, "labeling {labeling:?} seed {seed}");
             assert_eq!(
                 out.evals_per_worker.iter().sum::<u64>(),

@@ -111,6 +111,23 @@ impl FaultPlan {
     }
 }
 
+/// Which execution engine runs the program (see [`crate::backend`]).
+///
+/// `Deterministic` is the discrete-event simulator this crate implements: a
+/// single OS thread, virtual clocks, bit-identical replays. `Parallel` asks
+/// for the real multi-threaded backend (crate `strand-parallel`), which runs
+/// virtual nodes on OS threads and must be registered with
+/// [`crate::backend::register_parallel_backend`] before use.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Backend {
+    /// The single-threaded discrete-event reference machine.
+    #[default]
+    Deterministic,
+    /// Real OS threads, one worker per virtual node up to `threads`.
+    /// `threads == 0` means auto: `min(nodes, available_parallelism)`.
+    Parallel { threads: u32 },
+}
+
 /// Configuration of the simulated multicomputer.
 ///
 /// The defaults model a modest message-passing machine of the paper's era in
@@ -143,6 +160,8 @@ pub struct MachineConfig {
     pub record_trace: bool,
     /// Deterministic fault schedule (empty by default: a perfect machine).
     pub faults: FaultPlan,
+    /// Execution engine (default: the deterministic simulator).
+    pub backend: Backend,
 }
 
 impl Default for MachineConfig {
@@ -157,6 +176,7 @@ impl Default for MachineConfig {
             fail_fast: true,
             record_trace: false,
             faults: FaultPlan::default(),
+            backend: Backend::default(),
         }
     }
 }
@@ -191,6 +211,19 @@ impl MachineConfig {
     /// Builder-style fault plan override.
     pub fn faults(mut self, plan: FaultPlan) -> Self {
         self.faults = plan;
+        self
+    }
+
+    /// Builder: run on the multi-threaded backend with `threads` workers
+    /// (0 = auto, `min(nodes, available_parallelism)`).
+    pub fn parallel(mut self, threads: u32) -> Self {
+        self.backend = Backend::Parallel { threads };
+        self
+    }
+
+    /// Builder-style backend override.
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
         self
     }
 }

@@ -17,26 +17,95 @@
 
 use crate::machine::Machine;
 use std::collections::HashMap;
-use strand_core::{StrandResult, Term, Time, VarId};
+use std::sync::Arc;
+use strand_core::{NodeId, StrandResult, Term, Time, VarId};
 
 /// A foreign implementation: resolved ground inputs → (result, virtual
 /// cost in ticks).
 pub type ForeignFn = Box<dyn FnMut(&[Term]) -> StrandResult<(Term, Time)> + Send>;
+
+/// A *pure* foreign implementation: no interior state, callable from any
+/// thread. The multi-threaded backend executes these outside the machine
+/// lock, so native computation genuinely overlaps coordination.
+pub type PureForeignFn = dyn Fn(&[Term]) -> StrandResult<(Term, Time)> + Send + Sync;
+
+/// A portable library of pure foreign procedures. Unlike closures registered
+/// with [`Machine::register_foreign`], a library is `Clone` and can be
+/// installed on any machine — this is how foreign code travels through the
+/// [`crate::backend::ExecBackend`] interface to whichever engine runs it.
+#[derive(Clone, Default)]
+pub struct ForeignLib {
+    entries: Vec<(String, usize, Arc<PureForeignFn>)>,
+}
+
+impl ForeignLib {
+    pub fn new() -> ForeignLib {
+        ForeignLib::default()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Register `name/arity` (arity includes the output argument).
+    pub fn register(
+        &mut self,
+        name: &str,
+        arity: usize,
+        f: impl Fn(&[Term]) -> StrandResult<(Term, Time)> + Send + Sync + 'static,
+    ) {
+        assert!(arity >= 1, "foreign procedures need an output argument");
+        self.entries.push((name.to_string(), arity, Arc::new(f)));
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&str, usize, &Arc<PureForeignFn>)> {
+        self.entries.iter().map(|(n, a, f)| (n.as_str(), *a, f))
+    }
+}
 
 /// Registry of foreign procedures, keyed by name/arity (arity counts the
 /// output argument).
 #[derive(Default)]
 pub struct ForeignRegistry {
     fns: HashMap<(String, usize), ForeignFn>,
+    pure: HashMap<(String, usize), Arc<PureForeignFn>>,
 }
 
 impl ForeignRegistry {
     pub fn is_empty(&self) -> bool {
-        self.fns.is_empty()
+        self.fns.is_empty() && self.pure.is_empty()
     }
 
     pub fn contains(&self, name: &str, arity: usize) -> bool {
         self.fns.contains_key(&(name.to_string(), arity))
+            || self.pure.contains_key(&(name.to_string(), arity))
+    }
+}
+
+/// A pure foreign call whose inputs are ground, lifted out of the machine so
+/// the closure can run *without* holding the machine lock. Produced by
+/// [`Machine::step`] in deferred mode; completed with
+/// [`Machine::complete_foreign`].
+pub struct PendingForeign {
+    pub(crate) f: Arc<PureForeignFn>,
+    pub(crate) inputs: Vec<Term>,
+    pub(crate) out: Term,
+    pub(crate) node: NodeId,
+    pub(crate) tracked: bool,
+    pub(crate) name: String,
+    pub(crate) arity: usize,
+}
+
+impl PendingForeign {
+    /// The node the call is charged to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Run the native computation. Safe to call from any thread; the result
+    /// goes back into the machine via [`Machine::complete_foreign`].
+    pub fn compute(&self) -> StrandResult<(Term, Time)> {
+        (self.f)(&self.inputs)
     }
 }
 
@@ -53,6 +122,31 @@ impl Machine {
         self.foreign
             .fns
             .insert((name.to_string(), arity), Box::new(f));
+    }
+
+    /// Register a *pure* foreign procedure — stateless, callable from any
+    /// thread. On the multi-threaded backend these run outside the machine
+    /// lock; on the simulator they behave exactly like
+    /// [`Machine::register_foreign`].
+    pub fn register_foreign_pure(
+        &mut self,
+        name: &str,
+        arity: usize,
+        f: impl Fn(&[Term]) -> StrandResult<(Term, Time)> + Send + Sync + 'static,
+    ) {
+        assert!(arity >= 1, "foreign procedures need an output argument");
+        self.foreign
+            .pure
+            .insert((name.to_string(), arity), Arc::new(f));
+    }
+
+    /// Install every procedure of a [`ForeignLib`] on this machine.
+    pub fn install_lib(&mut self, lib: &ForeignLib) {
+        for (name, arity, f) in lib.iter() {
+            self.foreign
+                .pure
+                .insert((name.to_string(), arity), Arc::clone(f));
+        }
     }
 
     /// Attempt to run a foreign call. Returns:
@@ -85,6 +179,24 @@ impl Machine {
             return Some(Ok(ForeignOutcome::Suspend(pending)));
         }
         let out_arg = args[n - 1].clone();
+        if let Some(f) = self.foreign.pure.get(&(name.to_string(), n)) {
+            let f = Arc::clone(f);
+            if self.defer_pure {
+                // Lift the call out of the machine: the caller computes it
+                // without the lock and finishes via `complete_foreign`.
+                return Some(Ok(ForeignOutcome::Deferred(PendingForeign {
+                    f,
+                    inputs,
+                    out: out_arg,
+                    node: self.current_node,
+                    tracked: false,
+                    name: name.to_string(),
+                    arity: n,
+                })));
+            }
+            let result = f(&inputs);
+            return Some(self.finish_foreign_call(name, n, result, out_arg));
+        }
         // Take the closure out to avoid aliasing self mutably twice.
         let mut f = self
             .foreign
@@ -93,7 +205,19 @@ impl Machine {
             .expect("checked contains");
         let result = f(&inputs);
         self.foreign.fns.insert((name.to_string(), n), f);
-        Some(match result {
+        Some(self.finish_foreign_call(name, n, result, out_arg))
+    }
+
+    /// Turn a foreign closure's result into an outcome: charge the virtual
+    /// cost and bind the output argument.
+    pub(crate) fn finish_foreign_call(
+        &mut self,
+        name: &str,
+        arity: usize,
+        result: StrandResult<(Term, Time)>,
+        out_arg: Term,
+    ) -> StrandResult<ForeignOutcome> {
+        match result {
             Ok((value, cost)) => {
                 self.extra_cost += cost;
                 match self.store.deref(&out_arg) {
@@ -103,14 +227,14 @@ impl Machine {
                     },
                     other => Ok(ForeignOutcome::Error(
                         strand_core::StrandError::BadBuiltin {
-                            builtin: format!("{name}/{n}"),
+                            builtin: format!("{name}/{arity}"),
                             detail: format!("output argument already bound: {other}"),
                         },
                     )),
                 }
             }
             Err(e) => Ok(ForeignOutcome::Error(e)),
-        })
+        }
     }
 }
 
@@ -119,6 +243,8 @@ pub(crate) enum ForeignOutcome {
     Done,
     Suspend(Vec<VarId>),
     Error(strand_core::StrandError),
+    /// A pure call lifted out for off-lock execution (deferred mode only).
+    Deferred(PendingForeign),
 }
 
 #[cfg(test)]

@@ -25,6 +25,7 @@
 //! executable — it is resolved by the `Rand` motif transformation (crate
 //! `motifs`), exactly as in §3.3 of the paper.
 
+pub mod backend;
 pub mod builtins;
 pub mod config;
 pub mod foreign;
@@ -32,15 +33,16 @@ pub mod machine;
 pub mod metrics;
 pub mod trace;
 
-pub use config::{EdgeFaults, FaultPlan, MachineConfig};
-pub use foreign::ForeignFn;
-pub use machine::{Machine, RunReport, RunStatus};
+pub use backend::{backend_for, register_parallel_backend, DeterministicBackend, ExecBackend};
+pub use config::{Backend, EdgeFaults, FaultPlan, MachineConfig};
+pub use foreign::{ForeignFn, ForeignLib, PendingForeign};
+pub use machine::{Job, Machine, RunReport, RunStatus, StepOutcome};
 pub use metrics::Metrics;
 pub use trace::{render_trace, trace_summary, TraceEvent};
 
 use std::collections::BTreeMap;
 use strand_core::{StrandError, StrandResult, Term};
-use strand_parse::{compile_program, parse_program, parse_term, Ast};
+use strand_parse::{parse_program, Ast};
 
 /// Result of running a goal: the final report plus the resolved values of
 /// the goal's named variables.
@@ -91,26 +93,24 @@ pub fn run_goal(
 
 /// Run a goal against an already-parsed program (used by the motif crate,
 /// whose transformations produce [`strand_parse::Program`] values).
+/// Dispatches on [`MachineConfig::backend`].
 pub fn run_parsed_goal(
     program: &strand_parse::Program,
     goal_src: &str,
     config: MachineConfig,
 ) -> StrandResult<GoalResult> {
-    let goal_ast = parse_term(goal_src).map_err(|e| StrandError::Other(e.to_string()))?;
-    let compiled = compile_program(program).map_err(|e| StrandError::Other(e.to_string()))?;
-    let mut machine = Machine::new(compiled, config);
-    let mut vars = BTreeMap::new();
-    let goal = ast_to_term(&goal_ast, &mut machine, &mut vars);
-    machine.start(goal);
-    let report = machine.run()?;
-    let bindings = vars
-        .into_iter()
-        .map(|(name, term)| {
-            let value = machine.store().resolve(&term);
-            (name, value)
-        })
-        .collect();
-    Ok(GoalResult { report, bindings })
+    run_parsed_goal_with_lib(program, goal_src, config, &ForeignLib::new())
+}
+
+/// Like [`run_parsed_goal`], with a library of pure foreign procedures
+/// installed on whichever engine runs the goal.
+pub fn run_parsed_goal_with_lib(
+    program: &strand_parse::Program,
+    goal_src: &str,
+    config: MachineConfig,
+    lib: &ForeignLib,
+) -> StrandResult<GoalResult> {
+    backend::backend_for(&config)?.run_program(program, goal_src, config, lib)
 }
 
 #[cfg(test)]

@@ -54,6 +54,45 @@ impl Ord for QItem {
     }
 }
 
+/// One runnable process bound for a node, handed between the machine and an
+/// external driver. The deterministic scheduler keeps these in per-node
+/// heaps; the multi-threaded backend routes them over channels instead (see
+/// [`Machine::capture_spawns`]).
+#[derive(Debug)]
+pub struct Job {
+    pub(crate) item: QItem,
+    pub(crate) node: NodeId,
+}
+
+impl Job {
+    /// The node this process must run on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// True for `'$timer'/2` deadline processes. The parallel backend
+    /// defers these while other work is runnable, so a timeout only
+    /// fires once the value it guards has had every chance to arrive.
+    pub fn is_timer(&self) -> bool {
+        matches!(
+            self.item.goal.functor().map(|(n, a)| (n.as_str(), a)),
+            Some(("$timer", 2))
+        )
+    }
+}
+
+/// What [`Machine::step`] did with a job.
+pub enum StepOutcome {
+    /// The process reduced, suspended, or evaporated; nothing more to do.
+    Reduced,
+    /// A pure foreign call with ground inputs was lifted out: compute it
+    /// without holding the machine, then call [`Machine::complete_foreign`].
+    Foreign(crate::foreign::PendingForeign),
+    /// The reduction budget is exhausted (`fail_fast` off): stop scheduling
+    /// and report a truncated run.
+    BudgetExhausted,
+}
+
 /// A process suspended on a set of variables.
 #[derive(Clone, Debug)]
 struct Susp {
@@ -150,6 +189,14 @@ pub struct Machine {
     dead_count: usize,
     /// Counter backing the `unique_id/1` builtin (sequence numbers).
     pub(crate) seq_counter: u64,
+    /// When set, newly runnable processes go here instead of the per-node
+    /// heaps — the multi-threaded backend drains this after every step and
+    /// routes the jobs over channels.
+    outbox: Option<Vec<Job>>,
+    /// Defer pure foreign calls (see [`crate::foreign::PendingForeign`]).
+    pub(crate) defer_pure: bool,
+    /// Deferred foreign call produced by the current reduction, if any.
+    pending_foreign: Option<crate::foreign::PendingForeign>,
 }
 
 impl Machine {
@@ -201,6 +248,9 @@ impl Machine {
             trace: Vec::new(),
             program: Arc::new(program),
             config,
+            outbox: None,
+            defer_pure: false,
+            pending_foreign: None,
         }
     }
 
@@ -242,13 +292,26 @@ impl Machine {
             self.metrics.track_spawn(node);
         }
         let pid = self.fresh_pid();
+        self.push_item(
+            node,
+            QItem {
+                ready_at,
+                pid,
+                goal,
+                tracked,
+            },
+        );
+    }
+
+    /// Hand a runnable process to the scheduler: the per-node heap normally,
+    /// the outbox when an external driver is routing jobs itself.
+    fn push_item(&mut self, node: NodeId, item: QItem) {
+        if let Some(out) = &mut self.outbox {
+            out.push(Job { item, node });
+            return;
+        }
         let nq = &mut self.nodes[node.0 as usize];
-        nq.queue.push(QItem {
-            ready_at,
-            pid,
-            goal,
-            tracked,
-        });
+        nq.queue.push(item);
         let qlen = nq.queue.len();
         if qlen > self.metrics.peak_queue[node.0 as usize] {
             self.metrics.peak_queue[node.0 as usize] = qlen;
@@ -387,17 +450,15 @@ impl Machine {
                     pid,
                 });
             }
-            let nq = &mut self.nodes[susp.node.0 as usize];
-            nq.queue.push(QItem {
-                ready_at: arrival,
-                pid,
-                goal: susp.goal,
-                tracked: susp.tracked,
-            });
-            let qlen = nq.queue.len();
-            if qlen > self.metrics.peak_queue[susp.node.0 as usize] {
-                self.metrics.peak_queue[susp.node.0 as usize] = qlen;
-            }
+            self.push_item(
+                susp.node,
+                QItem {
+                    ready_at: arrival,
+                    pid,
+                    goal: susp.goal,
+                    tracked: susp.tracked,
+                },
+            );
         }
     }
 
@@ -519,6 +580,12 @@ impl Machine {
             self.metrics.reductions[i] += 1;
             step_result?;
         }
+        Ok(self.build_report(truncated))
+    }
+
+    /// Snapshot the final report. Public for execution backends that drive
+    /// the machine step-by-step instead of calling [`Machine::run`].
+    pub fn build_report(&mut self, truncated: bool) -> RunReport {
         self.metrics.makespan = self.nodes.iter().map(|n| n.clock).max().unwrap_or(0);
         self.metrics.total_reductions = self.total_reductions;
         let crashed_nodes: Vec<u32> = self
@@ -555,7 +622,7 @@ impl Machine {
         suspended_goals.sort_by_key(|t| t.to_string());
         let mut dead_goals = self.dead_goals.clone();
         dead_goals.sort_by_key(|t| t.to_string());
-        Ok(RunReport {
+        RunReport {
             status,
             metrics: self.metrics.clone(),
             output: self.output.clone(),
@@ -563,7 +630,7 @@ impl Machine {
             suspended_goals,
             dead_goals,
             trace: std::mem::take(&mut self.trace),
-        })
+        }
     }
 
     /// Kill a node: drop its queue, tear out its suspended goals (they will
@@ -623,6 +690,131 @@ impl Machine {
         self.enqueue(goal, NodeId(0), 0);
     }
 
+    // --- Step-driver interface -------------------------------------------
+    //
+    // The multi-threaded backend (crate `strand-parallel`) does not use the
+    // discrete-event loop in `run`. Instead it puts the machine in capture
+    // mode, hands each runnable process to a worker thread as a [`Job`], and
+    // calls [`Machine::step`] under a lock — newly spawned processes come
+    // back through the outbox and are routed over channels.
+
+    /// Switch spawn capture on or off. While on, every newly runnable
+    /// process lands in the outbox (see [`Machine::take_outbox`]) instead of
+    /// the per-node scheduler heaps.
+    pub fn capture_spawns(&mut self, on: bool) {
+        self.outbox = if on { Some(Vec::new()) } else { None };
+    }
+
+    /// Defer pure foreign calls so they can run outside the machine lock
+    /// ([`StepOutcome::Foreign`]).
+    pub fn set_defer_pure(&mut self, on: bool) {
+        self.defer_pure = on;
+    }
+
+    /// Drain the captured jobs (capture mode only).
+    pub fn take_outbox(&mut self) -> Vec<Job> {
+        match &mut self.outbox {
+            Some(out) => std::mem::take(out),
+            None => Vec::new(),
+        }
+    }
+
+    /// Processes currently suspended on unbound variables.
+    pub fn suspended_count(&self) -> usize {
+        self.suspended.len()
+    }
+
+    /// Record the budget-exhausted error once (step drivers call this the
+    /// first time they see [`StepOutcome::BudgetExhausted`]).
+    pub fn note_truncated(&mut self) {
+        let now = self.nodes[self.current_node.0 as usize].clock;
+        self.errors.push((
+            now,
+            StrandError::BudgetExhausted {
+                reductions: self.total_reductions,
+            },
+        ));
+    }
+
+    /// Reduce one job, with the same budget, cost, and metrics accounting as
+    /// the event loop in [`Machine::run`]. Errors follow `fail_fast`: with it
+    /// on, runtime errors surface as `Err`; with it off they are collected
+    /// and the run continues.
+    pub fn step(&mut self, job: Job) -> StrandResult<StepOutcome> {
+        let Job { item, node } = job;
+        let i = node.0 as usize;
+        if self.crashed[i] {
+            return Ok(StepOutcome::Reduced); // dead nodes accept no work
+        }
+        // Cancelled timers evaporate without consuming budget (see `run`).
+        if let Some(("$timer", 2)) = item.goal.functor().map(|(n, a)| (n.as_str(), a)) {
+            if !matches!(self.store.deref(&item.goal.goal_args()[0]), Term::Var(_)) {
+                return Ok(StepOutcome::Reduced);
+            }
+        }
+        if self.total_reductions >= self.config.max_reductions {
+            if self.config.fail_fast {
+                return Err(StrandError::BudgetExhausted {
+                    reductions: self.total_reductions + 1,
+                });
+            }
+            return Ok(StepOutcome::BudgetExhausted);
+        }
+        self.total_reductions += 1;
+        self.current_node = node;
+        self.extra_cost = 0;
+        let start = self.nodes[i].clock.max(item.ready_at);
+        self.nodes[i].clock = start;
+        if self.config.record_trace {
+            self.trace.push(TraceEvent::Reduce {
+                time: start,
+                node,
+                pid: item.pid,
+                goal: goal_text(&item.goal),
+            });
+        }
+        let step_result = self.reduce(item);
+        let cost = (self.config.reduction_cost + self.extra_cost) * self.slowdown[i];
+        self.nodes[i].clock = start + cost;
+        self.metrics.busy[i] += cost;
+        self.metrics.reductions[i] += 1;
+        step_result?;
+        if let Some(pf) = self.pending_foreign.take() {
+            return Ok(StepOutcome::Foreign(pf));
+        }
+        Ok(StepOutcome::Reduced)
+    }
+
+    /// Finish a deferred pure foreign call: charge its virtual cost to the
+    /// calling node and bind the output (waking waiters). `result` is what
+    /// [`PendingForeign::compute`](crate::foreign::PendingForeign::compute)
+    /// returned off-lock.
+    pub fn complete_foreign(
+        &mut self,
+        pf: crate::foreign::PendingForeign,
+        result: StrandResult<(Term, Time)>,
+    ) -> StrandResult<()> {
+        let i = pf.node.0 as usize;
+        self.current_node = pf.node;
+        self.extra_cost = 0;
+        let start = self.nodes[i].clock;
+        let name = pf.name.clone();
+        let arity = pf.arity;
+        let tracked = pf.tracked;
+        let outcome = self.finish_foreign_call(&name, arity, result, pf.out)?;
+        if tracked {
+            self.metrics.track_done(pf.node);
+        }
+        let cost = self.extra_cost * self.slowdown[i];
+        self.nodes[i].clock = start + cost;
+        self.metrics.busy[i] += cost;
+        match outcome {
+            crate::foreign::ForeignOutcome::Done => Ok(()),
+            crate::foreign::ForeignOutcome::Error(e) => self.record_error(e),
+            _ => unreachable!("completion cannot suspend or defer"),
+        }
+    }
+
     /// One reduction step.
     fn reduce(&mut self, item: QItem) -> StrandResult<()> {
         let goal = self.store.deref(&item.goal);
@@ -648,6 +840,11 @@ impl Machine {
                     crate::foreign::ForeignOutcome::Error(e) => {
                         self.finish_tracked(&item);
                         self.record_error(e)?;
+                    }
+                    crate::foreign::ForeignOutcome::Deferred(mut pf) => {
+                        // The goal finishes at completion time, not now.
+                        pf.tracked = item.tracked;
+                        self.pending_foreign = Some(pf);
                     }
                 }
                 return Ok(());

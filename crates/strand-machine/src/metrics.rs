@@ -53,6 +53,15 @@ pub struct Metrics {
     pub msgs_delayed: u64,
     /// Nodes killed by the fault plan during the run.
     pub nodes_crashed: u64,
+    /// Real (wall-clock) duration of the run in nanoseconds. Unlike every
+    /// virtual-time metric above this depends on the host; backends fill it
+    /// in so B-series experiments can compare engines on the same workload.
+    pub wall_ns: u64,
+    /// OS worker threads used (1 for the deterministic simulator).
+    pub threads_used: u32,
+    /// Jobs (reductions + foreign completions) each worker thread processed;
+    /// empty for the deterministic simulator.
+    pub worker_jobs: Vec<u64>,
 }
 
 impl Metrics {

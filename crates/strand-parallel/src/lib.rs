@@ -1,0 +1,430 @@
+//! # strand-parallel
+//!
+//! A real multi-threaded execution backend for the motif language. The
+//! paper's programs describe *genuinely parallel* computations; the
+//! deterministic simulator in `strand-machine` schedules them on one OS
+//! thread under virtual clocks, while this crate runs the same compiled
+//! programs on real worker threads:
+//!
+//! * each virtual node is assigned to one worker (node `i` → worker
+//!   `i % threads`, one worker per node up to the machine's parallelism);
+//! * runnable processes travel between workers over crossbeam channels —
+//!   an inter-node send in the program is a channel send here;
+//! * idle workers park inside a blocking `recv` and are woken by the
+//!   channel when work arrives;
+//! * termination is detected by a shared atomic in-flight counter: it is
+//!   incremented *before* every send and decremented only after a job has
+//!   been fully processed (including routing its spawns), so reaching zero
+//!   proves global quiescence — the worker that observes it broadcasts a
+//!   stop message;
+//! * the machine state (store, suspension table, ports, metrics) lives
+//!   behind one `parking_lot::Mutex`; *pure* foreign procedures
+//!   ([`strand_machine::ForeignLib`]) execute outside that lock, so native
+//!   computation genuinely overlaps coordination and other native calls.
+//!
+//! ## Determinism contract
+//!
+//! The simulator stays the deterministic reference. This backend promises
+//! only *confluence*: for fault-free programs whose observable values do
+//! not depend on `rand_num` draw order, the final bindings are the same as
+//! the simulator's, and `print/1` output and `merge/2` results agree as
+//! multisets. Virtual-time metrics (makespan, busy) are still collected but
+//! depend on the interleaving. Fault injection is rejected. There is no
+//! global virtual clock, so `after_unless/4` deadlines are approximated
+//! *lazily*: a timer process is requeued while any regular work is
+//! runnable and fires only when the system is otherwise idle — a timeout
+//! can only be observed once the value it guards has had every chance to
+//! arrive, which is exactly the simulator's behaviour for fault-free runs.
+//! See DESIGN.md §Execution backends. The conformance harness in the
+//! workspace root (`tests/conformance.rs`) checks the contract on every
+//! inventory motif program.
+//!
+//! ## Usage
+//!
+//! ```
+//! use strand_machine::{run_goal, MachineConfig};
+//! strand_parallel::install();
+//! let r = run_goal(
+//!     "double(X, Y) :- Y := X * 2.",
+//!     "double(21, V)",
+//!     MachineConfig::default().parallel(2),
+//! )
+//! .unwrap();
+//! assert_eq!(r.bindings["V"].to_string(), "42");
+//! ```
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::Mutex;
+use skeletons::WorkerSet;
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+use strand_core::{StrandError, StrandResult};
+use strand_machine::{
+    ast_to_term, Backend, ExecBackend, ForeignLib, GoalResult, Job, Machine, MachineConfig,
+    StepOutcome,
+};
+use strand_parse::{compile_program, parse_term, Program};
+
+/// Per-worker channel capacity. The vendored crossbeam stub has no
+/// unbounded channels; a deep bound keeps `send` from blocking in practice
+/// (a full channel would only deadlock if two workers blocked sending to
+/// each other — at this depth that means ~10⁶ undelivered processes per
+/// worker, far beyond any workload in the repo).
+const CHANNEL_CAP: usize = 1 << 20;
+
+enum Msg {
+    Job(Job),
+    Stop,
+}
+
+struct Shared {
+    machine: Mutex<Machine>,
+    /// Jobs sent but not yet fully processed (incremented before the send,
+    /// decremented after the receiving worker finishes routing the job's
+    /// spawns). Zero ⇒ global quiescence.
+    in_flight: AtomicU64,
+    senders: Vec<Sender<Msg>>,
+    /// Set on fatal error or budget exhaustion: remaining jobs drain
+    /// unprocessed so `in_flight` still reaches zero.
+    stopping: AtomicBool,
+    /// In-flight jobs that are `'$timer'/2` deadline processes. While
+    /// `in_flight > timer_jobs` there is regular work runnable somewhere,
+    /// and workers requeue timers instead of firing them (lazy deadlines;
+    /// see the module docs).
+    timer_jobs: AtomicU64,
+    truncated: AtomicBool,
+    fatal: Mutex<Option<StrandError>>,
+    worker_jobs: Vec<AtomicU64>,
+    threads: usize,
+}
+
+/// The multi-threaded engine. Select it with
+/// [`MachineConfig::parallel`](strand_machine::MachineConfig::parallel)
+/// after calling [`install`].
+pub struct ParallelBackend;
+
+impl ExecBackend for ParallelBackend {
+    fn name(&self) -> &'static str {
+        "parallel"
+    }
+
+    fn run_program(
+        &self,
+        program: &Program,
+        goal_src: &str,
+        config: MachineConfig,
+        lib: &ForeignLib,
+    ) -> StrandResult<GoalResult> {
+        run_parallel(program, goal_src, config, lib)
+    }
+}
+
+/// Register this engine for [`Backend::Parallel`] configs. Idempotent; call
+/// once anywhere before running a goal with a parallel config.
+pub fn install() {
+    strand_machine::register_parallel_backend(Box::new(ParallelBackend));
+}
+
+/// Worker threads a config resolves to: explicit request, or the host's
+/// available parallelism, both capped by the node count (a worker without a
+/// node would never receive work).
+pub fn resolve_threads(config: &MachineConfig) -> usize {
+    let nodes = config.nodes.max(1) as usize;
+    let requested = match config.backend {
+        Backend::Parallel { threads } => threads as usize,
+        Backend::Deterministic => 1,
+    };
+    let threads = if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        requested
+    };
+    threads.clamp(1, nodes)
+}
+
+fn run_parallel(
+    program: &Program,
+    goal_src: &str,
+    config: MachineConfig,
+    lib: &ForeignLib,
+) -> StrandResult<GoalResult> {
+    if !config.faults.is_empty() {
+        return Err(StrandError::Other(
+            "the parallel backend does not support fault injection; \
+             run fault plans on the deterministic simulator"
+                .to_string(),
+        ));
+    }
+    let threads = resolve_threads(&config);
+    let goal_ast = parse_term(goal_src).map_err(|e| StrandError::Other(e.to_string()))?;
+    let compiled = compile_program(program).map_err(|e| StrandError::Other(e.to_string()))?;
+    let mut machine = Machine::new(compiled, config);
+    machine.install_lib(lib);
+    machine.set_defer_pure(true);
+    machine.capture_spawns(true);
+    let mut vars = BTreeMap::new();
+    let goal = ast_to_term(&goal_ast, &mut machine, &mut vars);
+    machine.start(goal);
+    let initial = machine.take_outbox();
+
+    let mut senders = Vec::with_capacity(threads);
+    let mut receivers: Vec<Option<Receiver<Msg>>> = Vec::with_capacity(threads);
+    for _ in 0..threads {
+        let (tx, rx) = bounded::<Msg>(CHANNEL_CAP);
+        senders.push(tx);
+        receivers.push(Some(rx));
+    }
+    let shared = Arc::new(Shared {
+        machine: Mutex::new(machine),
+        in_flight: AtomicU64::new(0),
+        senders,
+        stopping: AtomicBool::new(false),
+        timer_jobs: AtomicU64::new(0),
+        truncated: AtomicBool::new(false),
+        fatal: Mutex::new(None),
+        worker_jobs: (0..threads).map(|_| AtomicU64::new(0)).collect(),
+        threads,
+    });
+
+    let t0 = Instant::now();
+    route(&shared, initial);
+    if shared.in_flight.load(Ordering::Acquire) == 0 {
+        // Defensive: an empty seed would leave workers parked forever.
+        for s in &shared.senders {
+            let _ = s.send(Msg::Stop);
+        }
+    }
+    let workers = WorkerSet::spawn(threads, "strand-node", |idx| {
+        let shared = Arc::clone(&shared);
+        let rx = receivers[idx].take().expect("one receiver per worker");
+        Box::new(move || worker_loop(&shared, idx, rx))
+    });
+    workers.join();
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+
+    if let Some(e) = shared.fatal.lock().take() {
+        return Err(e);
+    }
+    let truncated = shared.truncated.load(Ordering::Acquire);
+    let mut m = shared.machine.lock();
+    m.capture_spawns(false);
+    let mut report = m.build_report(truncated);
+    report.metrics.wall_ns = wall_ns;
+    report.metrics.threads_used = threads as u32;
+    report.metrics.worker_jobs = shared
+        .worker_jobs
+        .iter()
+        .map(|a| a.load(Ordering::Relaxed))
+        .collect();
+    let bindings = vars
+        .into_iter()
+        .map(|(name, term)| (name, m.store().resolve(&term)))
+        .collect();
+    Ok(GoalResult { report, bindings })
+}
+
+fn worker_loop(shared: &Shared, me: usize, rx: Receiver<Msg>) {
+    for msg in rx.iter() {
+        match msg {
+            Msg::Stop => break,
+            Msg::Job(job) => {
+                let job = match defer_timer(shared, me, job) {
+                    Some(job) => job,
+                    None => continue, // requeued for later
+                };
+                let is_timer = job.is_timer();
+                process_job(shared, me, job);
+                if is_timer {
+                    shared.timer_jobs.fetch_sub(1, Ordering::AcqRel);
+                }
+                // Last in-flight job gone ⇒ global quiescence. The counter
+                // can only reach zero when no job exists anywhere (every
+                // sender increments before sending, and a processing worker
+                // holds its own job's count until its spawns are routed),
+                // so exactly one worker observes the 1→0 edge and tells
+                // everyone — including itself — to stop.
+                if shared.in_flight.fetch_sub(1, Ordering::AcqRel) == 1 {
+                    for s in &shared.senders {
+                        let _ = s.send(Msg::Stop);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Lazy deadlines: while regular (non-timer) work is in flight anywhere,
+/// push a timer job to the back of this worker's own queue instead of
+/// firing it, so a timeout is only observed once the value it guards has
+/// had every chance to arrive. Returns the job when it should be processed
+/// now. The counter comparison is approximate — a transiently stale read
+/// at worst requeues once more or fires a timer early, both of which the
+/// semantics allow (a timer may legally fire at any time).
+fn defer_timer(shared: &Shared, me: usize, job: Job) -> Option<Job> {
+    if !job.is_timer() || shared.stopping.load(Ordering::Acquire) {
+        return Some(job);
+    }
+    if shared.in_flight.load(Ordering::Acquire) <= shared.timer_jobs.load(Ordering::Acquire) {
+        return Some(job); // only deadlines remain: time is up
+    }
+    match shared.senders[me].send(Msg::Job(job)) {
+        Ok(()) => {
+            // Don't spin on an otherwise-empty queue while another worker
+            // finishes the outstanding work.
+            std::thread::sleep(std::time::Duration::from_micros(50));
+            None
+        }
+        // Unreachable (this worker holds the receiver), but never drop a
+        // job: the in-flight counter depends on it being processed.
+        Err(crossbeam::channel::SendError(Msg::Job(job))) => Some(job),
+        Err(_) => None,
+    }
+}
+
+fn process_job(shared: &Shared, me: usize, job: Job) {
+    if shared.stopping.load(Ordering::Acquire) {
+        return; // draining after a fatal error or budget exhaustion
+    }
+    // A panic (in the engine or a foreign closure) must not strand the
+    // in-flight counter: convert it to a fatal error and keep draining.
+    let outcome = catch_unwind(AssertUnwindSafe(|| run_job(shared, me, job)));
+    match outcome {
+        Ok(Ok(())) => {}
+        Ok(Err(e)) => fatal(shared, e),
+        Err(_) => fatal(
+            shared,
+            StrandError::Other("worker panicked during reduction".to_string()),
+        ),
+    }
+}
+
+fn run_job(shared: &Shared, me: usize, job: Job) -> StrandResult<()> {
+    shared.worker_jobs[me].fetch_add(1, Ordering::Relaxed);
+    let mut m = shared.machine.lock();
+    let outcome = m.step(job)?;
+    let spawned = m.take_outbox();
+    drop(m);
+    route(shared, spawned);
+    match outcome {
+        StepOutcome::Reduced => {}
+        StepOutcome::Foreign(pf) => {
+            // The native computation runs without the machine lock — this
+            // is where foreign work genuinely overlaps everything else.
+            let result = catch_unwind(AssertUnwindSafe(|| pf.compute())).unwrap_or_else(|_| {
+                Err(StrandError::Other("foreign procedure panicked".to_string()))
+            });
+            let mut m = shared.machine.lock();
+            m.complete_foreign(pf, result)?;
+            let woken = m.take_outbox();
+            drop(m);
+            route(shared, woken);
+        }
+        StepOutcome::BudgetExhausted => {
+            if !shared.truncated.swap(true, Ordering::AcqRel) {
+                shared.machine.lock().note_truncated();
+            }
+            shared.stopping.store(true, Ordering::Release);
+        }
+    }
+    Ok(())
+}
+
+/// Send newly runnable processes to their nodes' workers, incrementing the
+/// in-flight count *before* each send (the quiescence invariant).
+fn route(shared: &Shared, jobs: Vec<Job>) {
+    for job in jobs {
+        let w = job.node().0 as usize % shared.threads;
+        let is_timer = job.is_timer();
+        shared.in_flight.fetch_add(1, Ordering::AcqRel);
+        if is_timer {
+            shared.timer_jobs.fetch_add(1, Ordering::AcqRel);
+        }
+        if shared.senders[w].send(Msg::Job(job)).is_err() {
+            // Unreachable before quiescence (receivers outlive the run),
+            // but keep the counters honest.
+            if is_timer {
+                shared.timer_jobs.fetch_sub(1, Ordering::AcqRel);
+            }
+            shared.in_flight.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+}
+
+fn fatal(shared: &Shared, e: StrandError) {
+    let mut slot = shared.fatal.lock();
+    if slot.is_none() {
+        *slot = Some(e);
+    }
+    drop(slot);
+    shared.stopping.store(true, Ordering::Release);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strand_machine::{run_goal, RunStatus};
+
+    fn par(threads: u32) -> MachineConfig {
+        install();
+        MachineConfig::with_nodes(4).parallel(threads)
+    }
+
+    #[test]
+    fn thread_resolution_caps_at_nodes() {
+        let c = MachineConfig::with_nodes(4).parallel(16);
+        assert_eq!(resolve_threads(&c), 4);
+        let c = MachineConfig::with_nodes(8).parallel(3);
+        assert_eq!(resolve_threads(&c), 3);
+        let c = MachineConfig::with_nodes(8).parallel(0);
+        assert!(resolve_threads(&c) >= 1);
+    }
+
+    #[test]
+    fn simple_goal_completes() {
+        let r = run_goal("double(X, Y) :- Y := X * 2.", "double(21, V)", par(2)).unwrap();
+        assert!(matches!(r.report.status, RunStatus::Completed));
+        assert_eq!(r.bindings["V"].to_string(), "42");
+        assert_eq!(r.report.metrics.threads_used, 2);
+        assert!(r.report.metrics.wall_ns > 0);
+    }
+
+    #[test]
+    fn fault_plans_are_rejected() {
+        let cfg = par(2).faults(strand_machine::FaultPlan::default().crash(1, 100));
+        let err = run_goal("go.", "go", cfg).unwrap_err();
+        assert!(err.to_string().contains("fault"), "{err}");
+    }
+
+    #[test]
+    fn runtime_errors_surface_with_fail_fast() {
+        let err = run_goal("boom(X) :- X := 1, X := 2.", "boom(X)", par(2)).unwrap_err();
+        assert!(matches!(err, StrandError::DoubleAssign { .. }), "{err}");
+    }
+
+    #[test]
+    fn budget_exhaustion_is_fatal_with_fail_fast() {
+        let mut cfg = par(2);
+        cfg.max_reductions = 500;
+        let err = run_goal("spin :- spin. spin :- spin.", "spin", cfg).unwrap_err();
+        assert!(matches!(err, StrandError::BudgetExhausted { .. }), "{err}");
+    }
+
+    #[test]
+    fn budget_exhaustion_truncates_without_fail_fast() {
+        let mut cfg = par(2);
+        cfg.max_reductions = 500;
+        cfg.fail_fast = false;
+        let r = run_goal("spin :- spin.", "spin", cfg).unwrap();
+        assert!(
+            matches!(r.report.status, RunStatus::Truncated { .. }),
+            "{:?}",
+            r.report.status
+        );
+        assert!(!r.report.errors.is_empty());
+    }
+}

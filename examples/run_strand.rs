@@ -3,10 +3,14 @@
 //! multicomputer and prints the goal's bindings plus run metrics.
 //!
 //! ```sh
-//! cargo run --example run_strand -- <file> <goal> [nodes] [seed] [--trace]
+//! cargo run --example run_strand -- <file> <goal> [nodes] [seed] \
+//!     [--trace] [--backend sim|parallel] [--threads N]
 //! # e.g.
 //! echo 'double(X, Y) :- Y := X * 2.' > /tmp/d.str
 //! cargo run --example run_strand -- /tmp/d.str 'double(21, V)'
+//! # same program on real worker threads:
+//! cargo run --example run_strand -- /tmp/d.str 'double(21, V)' 4 0 \
+//!     --backend parallel --threads 4
 //! ```
 //!
 //! With no arguments it runs a built-in demo (the paper's Figure 1).
@@ -26,10 +30,29 @@ consumer([X|Xs]) :- X := sync, consumer(Xs).
 consumer([]).
 "#;
 
+fn take_flag_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    if i + 1 >= args.len() {
+        eprintln!("{flag} needs a value");
+        std::process::exit(2);
+    }
+    let v = args.remove(i + 1);
+    args.remove(i);
+    Some(v)
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let trace = args.iter().any(|a| a == "--trace");
     args.retain(|a| a != "--trace");
+    let backend = take_flag_value(&mut args, "--backend").unwrap_or_else(|| "sim".to_string());
+    let threads: u32 = take_flag_value(&mut args, "--threads")
+        .map(|v| v.parse().expect("--threads wants a number"))
+        .unwrap_or(0);
+    if !matches!(backend.as_str(), "sim" | "parallel") {
+        eprintln!("--backend must be `sim` (deterministic) or `parallel`, got `{backend}`");
+        std::process::exit(2);
+    }
     let (source, goal, label) = match args.as_slice() {
         [] => (
             DEMO.to_string(),
@@ -42,14 +65,17 @@ fn main() {
             (src, goal.clone(), file.clone())
         }
         _ => {
-            eprintln!("usage: run_strand <file> <goal> [nodes] [seed]");
+            eprintln!(
+                "usage: run_strand <file> <goal> [nodes] [seed] \
+                 [--trace] [--backend sim|parallel] [--threads N]"
+            );
             std::process::exit(2);
         }
     };
     let nodes: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1);
     let seed: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(0);
 
-    println!("program: {label}\ngoal:    {goal}\nnodes:   {nodes}\n");
+    println!("program: {label}\ngoal:    {goal}\nnodes:   {nodes}\nbackend: {backend}\n");
     if let Ok(parsed) = algorithmic_motifs::strand_parse::parse_program(&source) {
         let findings = algorithmic_motifs::strand_parse::lint(&parsed, &[]);
         for l in &findings {
@@ -61,6 +87,10 @@ fn main() {
     }
     let mut config = MachineConfig::with_nodes(nodes).seed(seed);
     config.record_trace = trace;
+    if backend == "parallel" {
+        algorithmic_motifs::strand_parallel::install();
+        config = config.parallel(threads);
+    }
     let result = run_goal(&source, &goal, config);
     match result {
         Ok(r) => {
@@ -89,6 +119,14 @@ fn main() {
                 m.total_messages(),
                 m.makespan
             );
+            if m.threads_used > 0 {
+                println!(
+                    "threads: {} | wall: {:.2} ms | jobs/worker: {:?}",
+                    m.threads_used,
+                    m.wall_ns as f64 / 1e6,
+                    m.worker_jobs
+                );
+            }
             if let RunStatus::Quiescent { suspended } = r.report.status {
                 println!("note: {suspended} process(es) idle awaiting input (normal for server networks)");
             }
