@@ -18,5 +18,5 @@ pub mod parallel_bench;
 pub mod table;
 
 pub use experiments::*;
-pub use parallel_bench::{b1_parallel, render_parallel_json, ParallelPoint};
+pub use parallel_bench::{b1_parallel, parse_parallel_json, render_parallel_json, ParallelPoint};
 pub use table::Table;

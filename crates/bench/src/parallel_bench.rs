@@ -31,11 +31,11 @@ use strand_machine::{run_parsed_goal_with_lib, ForeignLib, GoalResult, MachineCo
 use strand_parse::{parse_program, Program};
 
 /// One measured row: a workload on one backend configuration.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ParallelPoint {
-    pub workload: &'static str,
+    pub workload: String,
     /// `"simulator"` or `"parallel"`.
-    pub backend: &'static str,
+    pub backend: String,
     /// Worker threads (1 for the simulator).
     pub threads: u32,
     pub wall_ns: u64,
@@ -181,8 +181,8 @@ pub fn b1_parallel(quick: bool) -> Vec<ParallelPoint> {
         let cfg = MachineConfig::with_nodes(8).seed(7);
         let (_base, base_ns) = timed_run(program, goal, cfg.clone(), lib);
         points.push(ParallelPoint {
-            workload: name,
-            backend: "simulator",
+            workload: name.to_string(),
+            backend: "simulator".to_string(),
             threads: 1,
             wall_ns: base_ns,
             speedup: 1.0,
@@ -190,8 +190,8 @@ pub fn b1_parallel(quick: bool) -> Vec<ParallelPoint> {
         for &threads in thread_counts {
             let (_r, wall_ns) = timed_run(program, goal, cfg.clone().parallel(threads), lib);
             points.push(ParallelPoint {
-                workload: name,
-                backend: "parallel",
+                workload: name.to_string(),
+                backend: "parallel".to_string(),
                 threads,
                 wall_ns,
                 speedup: base_ns as f64 / wall_ns.max(1) as f64,
@@ -242,6 +242,61 @@ pub fn render_parallel_json(points: &[ParallelPoint]) -> String {
     out
 }
 
+/// Parse the JSON produced by [`render_parallel_json`] back into points —
+/// the schema round-trip that plotting scripts and the committed
+/// `BENCH_parallel_sharded.json` snapshot rely on. Hand-rolled (the
+/// workspace vendors no JSON crate) and deliberately strict: a field the
+/// renderer stops emitting, renames or reorders fails here, so schema
+/// drift breaks the round-trip test instead of passing silently.
+pub fn parse_parallel_json(json: &str) -> Result<(usize, Vec<ParallelPoint>), String> {
+    fn raw_field<'a>(s: &'a str, key: &str) -> Result<&'a str, String> {
+        let pat = format!("\"{key}\": ");
+        let start = s
+            .find(&pat)
+            .ok_or_else(|| format!("missing field {key:?}"))?
+            + pat.len();
+        let rest = &s[start..];
+        let end = rest
+            .find([',', '}', '\n'])
+            .ok_or_else(|| format!("unterminated field {key:?}"))?;
+        Ok(rest[..end].trim())
+    }
+    fn string_field(s: &str, key: &str) -> Result<String, String> {
+        let raw = raw_field(s, key)?;
+        raw.strip_prefix('"')
+            .and_then(|r| r.strip_suffix('"'))
+            .map(str::to_string)
+            .ok_or_else(|| format!("field {key:?} is not a string: {raw}"))
+    }
+    fn num_field<T: std::str::FromStr>(s: &str, key: &str) -> Result<T, String> {
+        raw_field(s, key)?
+            .parse()
+            .map_err(|_| format!("field {key:?} is not a number"))
+    }
+
+    let host: usize = num_field(json, "host_parallelism")?;
+    if !json.contains("\"points\": [") {
+        return Err("missing points array".to_string());
+    }
+    let mut points = Vec::new();
+    for line in json.lines().map(str::trim) {
+        if !line.starts_with("{\"workload\"") {
+            continue;
+        }
+        points.push(ParallelPoint {
+            workload: string_field(line, "workload")?,
+            backend: string_field(line, "backend")?,
+            threads: num_field(line, "threads")?,
+            wall_ns: num_field(line, "wall_ns")?,
+            speedup: num_field(line, "speedup")?,
+        });
+    }
+    if points.is_empty() {
+        return Err("no points parsed".to_string());
+    }
+    Ok((host, points))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -265,5 +320,43 @@ mod tests {
         let json = render_parallel_json(&points);
         assert!(json.contains("\"workload\": \"tree-reduce-io\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn json_schema_round_trips() {
+        // Synthetic points exercise the full value space without running
+        // the workloads: render → parse must reproduce every field (speedup
+        // to its serialized 4-decimal precision), and a second render of
+        // the parsed points must be byte-identical.
+        let points = vec![
+            ParallelPoint {
+                workload: "ring".to_string(),
+                backend: "simulator".to_string(),
+                threads: 1,
+                wall_ns: 123_456_789,
+                speedup: 1.0,
+            },
+            ParallelPoint {
+                workload: "tree-reduce".to_string(),
+                backend: "parallel".to_string(),
+                threads: 8,
+                wall_ns: 42,
+                speedup: 2.5625,
+            },
+        ];
+        let json = render_parallel_json(&points);
+        let (host, parsed) = parse_parallel_json(&json).expect("round-trip parses");
+        assert!(host >= 1);
+        assert_eq!(parsed, points);
+        assert_eq!(render_parallel_json(&parsed), json);
+    }
+
+    #[test]
+    fn parser_rejects_schema_drift() {
+        let points = b1_parallel(true);
+        let json = render_parallel_json(&points);
+        let renamed = json.replace("\"wall_ns\"", "\"wall_nanos\"");
+        assert!(parse_parallel_json(&renamed).is_err());
+        assert!(parse_parallel_json("{}").is_err());
     }
 }

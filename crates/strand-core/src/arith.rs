@@ -7,7 +7,7 @@
 //! error.
 
 use crate::error::{StrandError, StrandResult};
-use crate::store::{Store, VarId};
+use crate::store::{StoreOps, VarId};
 use crate::term::Term;
 
 /// A numeric value: integers stay exact, floats propagate.
@@ -69,7 +69,7 @@ pub enum Evaled {
 /// let e = Term::tuple("+", vec![Term::int(3), Term::tuple("*", vec![Term::int(2), Term::int(4)])]);
 /// assert_eq!(eval_arith(&e, &store).unwrap(), Evaled::Num(Num::Int(11)));
 /// ```
-pub fn eval_arith(expr: &Term, store: &Store) -> StrandResult<Evaled> {
+pub fn eval_arith<S: StoreOps>(expr: &Term, store: &S) -> StrandResult<Evaled> {
     let t = store.deref(expr);
     match &t {
         Term::Int(i) => Ok(Evaled::Num(Num::Int(*i))),
@@ -180,7 +180,7 @@ pub fn is_arith_expr(t: &Term) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::store::NodeId;
+    use crate::store::{NodeId, Store};
 
     fn ev(t: &Term, s: &Store) -> Evaled {
         eval_arith(t, s).unwrap()

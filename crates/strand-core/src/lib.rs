@@ -34,6 +34,7 @@ pub mod error;
 pub mod matching;
 pub mod pat;
 pub mod rng;
+pub mod shared;
 pub mod store;
 pub mod term;
 
@@ -43,5 +44,6 @@ pub use error::{StrandError, StrandResult};
 pub use matching::{eval_guard, match_args, GuardOutcome, MatchOutcome};
 pub use pat::{Frame, Pat};
 pub use rng::SplitMix64;
-pub use store::{Binding, NodeId, Store, Time, VarId, Waiter};
+pub use shared::{SharedStore, SharedStoreView};
+pub use store::{Binding, NodeId, Store, StoreOps, Time, VarId, Waiter};
 pub use term::Term;

@@ -9,7 +9,7 @@
 use crate::arith::{eval_arith, Evaled};
 use crate::error::StrandResult;
 use crate::pat::{Frame, Pat};
-use crate::store::{Store, VarId};
+use crate::store::{StoreOps, VarId};
 use crate::term::Term;
 
 /// Outcome of matching goal arguments against a rule head.
@@ -42,10 +42,10 @@ fn push_unique(vs: &mut Vec<VarId>, v: VarId) {
 ///
 /// On [`MatchOutcome::Suspend`] or [`MatchOutcome::Fail`] the frame contents
 /// are unspecified and the caller must discard it.
-pub fn match_args(
+pub fn match_args<S: StoreOps>(
     goal_args: &[Term],
     head: &[Pat],
-    store: &Store,
+    store: &S,
     frame: &mut Frame,
 ) -> MatchOutcome {
     debug_assert_eq!(goal_args.len(), head.len());
@@ -68,10 +68,10 @@ enum MatchStep {
     Fail,
 }
 
-fn match_one(
+fn match_one<S: StoreOps>(
     goal: &Term,
     pat: &Pat,
-    store: &Store,
+    store: &S,
     frame: &mut Frame,
     pending: &mut Vec<VarId>,
 ) -> MatchStep {
@@ -163,7 +163,7 @@ pub enum EqOutcome {
 }
 
 /// Compare two terms structurally, dereferencing through the store.
-pub fn term_eq(a: &Term, b: &Term, store: &Store) -> EqOutcome {
+pub fn term_eq<S: StoreOps>(a: &Term, b: &Term, store: &S) -> EqOutcome {
     let a = store.deref(a);
     let b = store.deref(b);
     match (&a, &b) {
@@ -241,7 +241,7 @@ fn combine_eq(first: EqOutcome, rest: impl FnOnce() -> EqOutcome) -> EqOutcome {
 /// Supported guards: arithmetic comparisons `< > =< >= == =\=`, type tests
 /// `integer/1 float/1 number/1 atom/1 string/1 list/1 tuple/1 data/1
 /// unknown/1`, and `true/0`. The machine handles `otherwise` itself.
-pub fn eval_guard(guard: &Term, store: &Store) -> StrandResult<GuardOutcome> {
+pub fn eval_guard<S: StoreOps>(guard: &Term, store: &S) -> StrandResult<GuardOutcome> {
     let g = store.deref(guard);
     let (name, arity) = match g.functor() {
         Some(f) => (f.0.as_str().to_string(), f.1),
@@ -348,7 +348,7 @@ pub fn eval_guard(guard: &Term, store: &Store) -> StrandResult<GuardOutcome> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::store::NodeId;
+    use crate::store::{NodeId, Store};
 
     fn frame_for(head: &[Pat]) -> Frame {
         let n = head.iter().map(Pat::local_count).max().unwrap_or(0);

@@ -8,7 +8,7 @@
 //! process goals — exactly the reduction step of §2.1.
 
 use crate::atom::Atom;
-use crate::store::Store;
+use crate::store::StoreOps;
 use crate::term::Term;
 use std::fmt;
 use std::sync::Arc;
@@ -78,7 +78,7 @@ impl Pat {
 
     /// Instantiate the pattern against `frame`, allocating fresh store
     /// variables for unset locals and for each wildcard occurrence.
-    pub fn instantiate(&self, frame: &mut Frame, store: &mut Store) -> Term {
+    pub fn instantiate<S: StoreOps>(&self, frame: &mut Frame, store: &mut S) -> Term {
         match self {
             Pat::Local(i) => {
                 let slot = &mut frame.slots[*i as usize];
@@ -192,7 +192,7 @@ impl fmt::Debug for Pat {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::store::NodeId;
+    use crate::store::{NodeId, Store};
 
     #[test]
     fn local_count_spans_structure() {

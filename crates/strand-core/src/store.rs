@@ -14,8 +14,43 @@ use crate::error::{StrandError, StrandResult};
 use crate::term::Term;
 
 /// Identifier of a store variable.
+///
+/// In the deterministic simulator ids are plain indices into one [`Store`].
+/// The sharded store ([`crate::shared::SharedStore`]) packs an *owner tag*
+/// into the high bits — see [`VarId::tagged`] — so any worker can route a
+/// variable to the stripe that owns it without a global table. Untagged ids
+/// (owner 0) and stripe-0 ids coincide on purpose: a 1-worker sharded run
+/// allocates exactly the same ids as the simulator.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
 pub struct VarId(pub u32);
+
+impl VarId {
+    /// Bits reserved for the owning stripe (worker) tag.
+    pub const OWNER_BITS: u32 = 10;
+    /// Bits left for the per-stripe slot index.
+    pub const INDEX_BITS: u32 = 32 - Self::OWNER_BITS;
+    /// Maximum number of distinct owner stripes an id can name.
+    pub const MAX_OWNERS: u32 = 1 << Self::OWNER_BITS;
+    /// Maximum variables a single stripe can allocate.
+    pub const MAX_INDEX: u32 = 1 << Self::INDEX_BITS;
+
+    /// Pack an owner stripe and per-stripe index into one id.
+    pub fn tagged(owner: u32, index: u32) -> VarId {
+        debug_assert!(owner < Self::MAX_OWNERS);
+        debug_assert!(index < Self::MAX_INDEX);
+        VarId((owner << Self::INDEX_BITS) | index)
+    }
+
+    /// The owner stripe encoded in this id (0 for simulator ids).
+    pub fn owner(self) -> u32 {
+        self.0 >> Self::INDEX_BITS
+    }
+
+    /// The per-stripe slot index encoded in this id.
+    pub fn index(self) -> usize {
+        (self.0 & (Self::MAX_INDEX - 1)) as usize
+    }
+}
 
 /// Virtual time in the discrete-event simulation (abstract "ticks").
 pub type Time = u64;
@@ -38,7 +73,7 @@ pub struct Binding {
 /// Opaque waiter token; the abstract machine uses process identifiers.
 pub type Waiter = u64;
 
-enum Slot {
+pub(crate) enum Slot {
     Unbound { waiters: Vec<Waiter> },
     Bound(Binding),
 }
@@ -237,6 +272,38 @@ impl Store {
                 _ => None,
             })
             .collect()
+    }
+}
+
+/// The store operations term-level code needs: dereferencing, deep
+/// substitution and fresh-variable allocation.
+///
+/// Matching, guard evaluation, arithmetic and pattern instantiation are
+/// generic over this trait so they run unchanged against the simulator's
+/// exclusive [`Store`] and the sharded concurrent
+/// [`SharedStore`](crate::shared::SharedStore) views: the callers
+/// monomorphize, so the single-threaded path pays nothing for the
+/// abstraction.
+pub trait StoreOps {
+    /// See [`Store::deref`].
+    fn deref(&self, t: &Term) -> Term;
+    /// See [`Store::resolve`].
+    fn resolve(&self, t: &Term) -> Term;
+    /// See [`Store::new_var`].
+    fn new_var(&mut self) -> VarId;
+}
+
+impl StoreOps for Store {
+    fn deref(&self, t: &Term) -> Term {
+        Store::deref(self, t)
+    }
+
+    fn resolve(&self, t: &Term) -> Term {
+        Store::resolve(self, t)
+    }
+
+    fn new_var(&mut self) -> VarId {
+        Store::new_var(self)
     }
 }
 

@@ -176,8 +176,7 @@ impl Machine {
 
             ("open_port", [p, s]) => match (self.store.deref(p), self.store.deref(s)) {
                 (Term::Var(pv), Term::Var(sv)) => {
-                    let id = self.ports.len() as u32;
-                    self.ports.push(PortState {
+                    let id = self.ports.push(PortState {
                         owner: self.current_node,
                         tail: sv,
                     });
@@ -213,8 +212,7 @@ impl Machine {
                     }
                     match self.store.deref(out) {
                         Term::Var(ov) => {
-                            let id = self.ports.len() as u32;
-                            self.ports.push(PortState {
+                            let id = self.ports.push(PortState {
                                 owner: self.current_node,
                                 tail: ov,
                             });
@@ -325,11 +323,11 @@ impl Machine {
                 other => bad("ack/1", format!("already bound to {other}")),
             },
 
-            // `unique_id(N)`: machine-wide fresh integer, for sequence
-            // numbers (duplicate suppression in the Supervise motif).
+            // `unique_id(N)`: run-wide fresh integer, for sequence numbers
+            // (duplicate suppression in the Supervise motif). Run-global
+            // even across workers in sharded execution.
             ("unique_id", [n]) => {
-                self.seq_counter += 1;
-                let id = self.seq_counter as i64;
+                let id = self.next_unique_id() as i64;
                 self.bind_or_err(n, Term::int(id))?
             }
 
@@ -432,7 +430,7 @@ impl Machine {
     /// them); only injected drops lose messages.
     fn port_send(&mut self, port: u32, msg: Term) -> StrandResult<BuiltinOutcome> {
         let msg = self.store.deref(&msg);
-        let owner = self.ports[port as usize].owner;
+        let owner = self.ports.owner(port);
         if self.current_node != owner {
             self.metrics.count_message(self.current_node, owner);
             match self.edge_delivery(self.current_node, owner) {
@@ -480,14 +478,17 @@ impl Machine {
         Ok(BuiltinOutcome::Done)
     }
 
-    /// Raw stream append: allocate the next cell and bind the old tail
-    /// (waking consumers). No accounting, no faults.
+    /// Raw stream append: allocate the next cell, atomically swap it in as
+    /// the port's tail, then bind the old tail (waking consumers). The bind
+    /// happens *outside* the port lock, so concurrent appends from different
+    /// workers each link a distinct cons cell and the stream stays linear —
+    /// only the arrival order is scheduling-dependent. No accounting, no
+    /// faults.
     pub(crate) fn port_append(&mut self, port: u32, msg: Term) -> StrandResult<()> {
-        let PortState { tail, .. } = self.ports[port as usize].clone();
         let new_tail = self.store.new_var();
+        let old_tail = self.ports.swap_tail(port, new_tail);
         let cell = Term::cons(msg, Term::Var(new_tail));
-        self.ports[port as usize].tail = new_tail;
-        self.bind_now(tail, cell)?;
+        self.bind_now(old_tail, cell)?;
         Ok(())
     }
 

@@ -18,7 +18,7 @@
 use crate::machine::Machine;
 use std::collections::HashMap;
 use std::sync::Arc;
-use strand_core::{NodeId, StrandResult, Term, Time, VarId};
+use strand_core::{StrandResult, Term, Time, VarId};
 
 /// A foreign implementation: resolved ground inputs → (result, virtual
 /// cost in ticks).
@@ -82,33 +82,6 @@ impl ForeignRegistry {
     }
 }
 
-/// A pure foreign call whose inputs are ground, lifted out of the machine so
-/// the closure can run *without* holding the machine lock. Produced by
-/// [`Machine::step`] in deferred mode; completed with
-/// [`Machine::complete_foreign`].
-pub struct PendingForeign {
-    pub(crate) f: Arc<PureForeignFn>,
-    pub(crate) inputs: Vec<Term>,
-    pub(crate) out: Term,
-    pub(crate) node: NodeId,
-    pub(crate) tracked: bool,
-    pub(crate) name: String,
-    pub(crate) arity: usize,
-}
-
-impl PendingForeign {
-    /// The node the call is charged to.
-    pub fn node(&self) -> NodeId {
-        self.node
-    }
-
-    /// Run the native computation. Safe to call from any thread; the result
-    /// goes back into the machine via [`Machine::complete_foreign`].
-    pub fn compute(&self) -> StrandResult<(Term, Time)> {
-        (self.f)(&self.inputs)
-    }
-}
-
 impl Machine {
     /// Register a foreign procedure `name/arity` (arity includes the final
     /// output argument). Inputs arrive fully resolved and ground.
@@ -125,9 +98,10 @@ impl Machine {
     }
 
     /// Register a *pure* foreign procedure — stateless, callable from any
-    /// thread. On the multi-threaded backend these run outside the machine
-    /// lock; on the simulator they behave exactly like
-    /// [`Machine::register_foreign`].
+    /// thread. On the multi-threaded backend each worker calls these inline
+    /// on its own shard (no lock is held, so native computation on one
+    /// worker genuinely overlaps coordination on the others); on the
+    /// simulator they behave exactly like [`Machine::register_foreign`].
     pub fn register_foreign_pure(
         &mut self,
         name: &str,
@@ -181,19 +155,6 @@ impl Machine {
         let out_arg = args[n - 1].clone();
         if let Some(f) = self.foreign.pure.get(&(name.to_string(), n)) {
             let f = Arc::clone(f);
-            if self.defer_pure {
-                // Lift the call out of the machine: the caller computes it
-                // without the lock and finishes via `complete_foreign`.
-                return Some(Ok(ForeignOutcome::Deferred(PendingForeign {
-                    f,
-                    inputs,
-                    out: out_arg,
-                    node: self.current_node,
-                    tracked: false,
-                    name: name.to_string(),
-                    arity: n,
-                })));
-            }
             let result = f(&inputs);
             return Some(self.finish_foreign_call(name, n, result, out_arg));
         }
@@ -243,8 +204,6 @@ pub(crate) enum ForeignOutcome {
     Done,
     Suspend(Vec<VarId>),
     Error(strand_core::StrandError),
-    /// A pure call lifted out for off-lock execution (deferred mode only).
-    Deferred(PendingForeign),
 }
 
 #[cfg(test)]

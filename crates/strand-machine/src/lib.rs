@@ -35,8 +35,11 @@ pub mod trace;
 
 pub use backend::{backend_for, register_parallel_backend, DeterministicBackend, ExecBackend};
 pub use config::{Backend, EdgeFaults, FaultPlan, MachineConfig};
-pub use foreign::{ForeignFn, ForeignLib, PendingForeign};
-pub use machine::{Job, Machine, RunReport, RunStatus, StepOutcome};
+pub use foreign::{ForeignFn, ForeignLib};
+pub use machine::{
+    merge_shard_reports, DrainState, Job, Machine, Routed, RunReport, RunStatus, ShardReport,
+    SharedWorld, StoreHandle, WORKER_PID_SHIFT,
+};
 pub use metrics::Metrics;
 pub use trace::{render_trace, trace_summary, TraceEvent};
 

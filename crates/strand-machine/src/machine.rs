@@ -20,10 +20,11 @@ use crate::metrics::Metrics;
 use crate::trace::{goal_text, TraceEvent};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::sync::{Arc, Mutex};
 use strand_core::{
-    match_args, GuardOutcome, MatchOutcome, NodeId, SplitMix64, Store, StrandError, StrandResult,
-    Term, Time, VarId,
+    match_args, GuardOutcome, MatchOutcome, NodeId, SharedStore, SharedStoreView, SplitMix64,
+    Store, StoreOps, StrandError, StrandResult, Term, Time, VarId, Waiter,
 };
 use strand_parse::{CompiledProgram, CompiledRule};
 
@@ -54,10 +55,9 @@ impl Ord for QItem {
     }
 }
 
-/// One runnable process bound for a node, handed between the machine and an
-/// external driver. The deterministic scheduler keeps these in per-node
-/// heaps; the multi-threaded backend routes them over channels instead (see
-/// [`Machine::capture_spawns`]).
+/// One runnable process bound for a node. In sharded execution these travel
+/// between workers inside [`Routed`] batches; each worker inserts arriving
+/// jobs straight into the per-node heaps it owns.
 #[derive(Debug)]
 pub struct Job {
     pub(crate) item: QItem,
@@ -69,28 +69,242 @@ impl Job {
     pub fn node(&self) -> NodeId {
         self.node
     }
+}
 
-    /// True for `'$timer'/2` deadline processes. The parallel backend
-    /// defers these while other work is runnable, so a timeout only
-    /// fires once the value it guards has had every chance to arrive.
-    pub fn is_timer(&self) -> bool {
-        matches!(
-            self.item.goal.functor().map(|(n, a)| (n.as_str(), a)),
-            Some(("$timer", 2))
-        )
+/// Bits of a process id reserved for the owning worker's index in sharded
+/// execution. Worker `w` allocates pids starting at `w << WORKER_PID_SHIFT`,
+/// so any worker can route a wake-up from the pid alone — and worker 0's pids
+/// coincide with the deterministic scheduler's, which is what makes 1-thread
+/// parallel runs bit-identical to the simulator.
+pub const WORKER_PID_SHIFT: u32 = 48;
+
+/// A cross-worker event produced by one shard for another. Senders tag every
+/// routed event against the shared in-flight gate before it leaves the
+/// machine (timers excepted); receivers apply it via [`Machine::absorb`].
+#[derive(Debug)]
+pub enum Routed {
+    /// A newly runnable process for a node another worker owns.
+    Job(Job),
+    /// A binding at `time` on `binder` woke a process another worker owns.
+    Wake {
+        pid: u64,
+        time: Time,
+        binder: NodeId,
+    },
+}
+
+impl Routed {
+    /// Which worker must apply this event, given the routing rule
+    /// `worker(node) = node mod threads` and pid-encoded suspension
+    /// ownership.
+    pub fn dest_worker(&self, threads: usize) -> usize {
+        match self {
+            Routed::Job(job) => job.node.0 as usize % threads,
+            Routed::Wake { pid, .. } => (pid >> WORKER_PID_SHIFT) as usize,
+        }
     }
 }
 
-/// What [`Machine::step`] did with a job.
-pub enum StepOutcome {
-    /// The process reduced, suspended, or evaporated; nothing more to do.
-    Reduced,
-    /// A pure foreign call with ground inputs was lifted out: compute it
-    /// without holding the machine, then call [`Machine::complete_foreign`].
-    Foreign(crate::foreign::PendingForeign),
-    /// The reduction budget is exhausted (`fail_fast` off): stop scheduling
-    /// and report a truncated run.
-    BudgetExhausted,
+fn goal_is_timer(goal: &Term) -> bool {
+    matches!(
+        goal.functor().map(|(n, a)| (n.as_str(), a)),
+        Some(("$timer", 2))
+    )
+}
+
+/// What [`Machine::drain_local`] left behind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DrainState {
+    /// No runnable work and no deferred timers: the shard is idle.
+    Idle,
+    /// Only deferred `'$timer'` deadlines remain. They may fire once the
+    /// global in-flight gate reaches zero (see [`Machine::release_timers`]).
+    TimersOnly,
+    /// The step quantum expired with runnable work still queued.
+    More,
+    /// The shared reduction budget is exhausted (`fail_fast` off).
+    Budget,
+}
+
+/// Store access for one machine: the deterministic scheduler owns a plain
+/// [`Store`] outright; sharded workers share a lock-striped [`SharedStore`],
+/// each allocating from its own stripe so variable creation is contention-free.
+pub enum StoreHandle {
+    Local(Store),
+    Shared(SharedStoreView),
+}
+
+impl StoreHandle {
+    /// Allocate a fresh unbound variable.
+    pub fn new_var(&mut self) -> VarId {
+        match self {
+            StoreHandle::Local(s) => s.new_var(),
+            StoreHandle::Shared(s) => StoreOps::new_var(s),
+        }
+    }
+
+    /// Follow variable chains until a non-variable or unbound variable.
+    pub fn deref(&self, t: &Term) -> Term {
+        match self {
+            StoreHandle::Local(s) => s.deref(t),
+            StoreHandle::Shared(s) => StoreOps::deref(s, t),
+        }
+    }
+
+    /// Deep-substitute bound variables throughout a term.
+    pub fn resolve(&self, t: &Term) -> Term {
+        match self {
+            StoreHandle::Local(s) => s.resolve(t),
+            StoreHandle::Shared(s) => StoreOps::resolve(s, t),
+        }
+    }
+
+    /// Bind `v`, returning the waiters to wake.
+    pub fn bind(
+        &mut self,
+        v: VarId,
+        value: Term,
+        time: Time,
+        node: NodeId,
+    ) -> StrandResult<Vec<Waiter>> {
+        match self {
+            StoreHandle::Local(s) => s.bind(v, value, time, node),
+            StoreHandle::Shared(s) => s.shared().bind(v, value, time, node),
+        }
+    }
+
+    /// Register a waiter; `false` if the variable is already bound.
+    pub fn add_waiter(&mut self, v: VarId, w: Waiter) -> bool {
+        match self {
+            StoreHandle::Local(s) => s.add_waiter(v, w),
+            StoreHandle::Shared(s) => s.shared().add_waiter(v, w),
+        }
+    }
+
+    /// Drop a waiter registration (no-op if absent).
+    pub fn remove_waiter(&mut self, v: VarId, w: Waiter) {
+        match self {
+            StoreHandle::Local(s) => s.remove_waiter(v, w),
+            StoreHandle::Shared(s) => s.shared().remove_waiter(v, w),
+        }
+    }
+}
+
+impl StoreOps for StoreHandle {
+    fn deref(&self, t: &Term) -> Term {
+        StoreHandle::deref(self, t)
+    }
+    fn resolve(&self, t: &Term) -> Term {
+        StoreHandle::resolve(self, t)
+    }
+    fn new_var(&mut self) -> VarId {
+        StoreHandle::new_var(self)
+    }
+}
+
+/// Port table access: owned outright by the simulator, shared behind one
+/// mutex by sharded workers. The lock covers only id allocation and the
+/// tail swap; the actual tail binding happens outside it, so concurrent
+/// appends each link a distinct cons cell and the stream stays linear.
+pub(crate) enum PortsHandle {
+    Local(Vec<PortState>),
+    Shared(Arc<Mutex<Vec<PortState>>>),
+}
+
+impl PortsHandle {
+    /// Register a port, returning its id.
+    pub(crate) fn push(&mut self, p: PortState) -> u32 {
+        match self {
+            PortsHandle::Local(v) => {
+                v.push(p);
+                (v.len() - 1) as u32
+            }
+            PortsHandle::Shared(m) => {
+                let mut v = m.lock().expect("ports mutex poisoned");
+                v.push(p);
+                (v.len() - 1) as u32
+            }
+        }
+    }
+
+    /// The node a port lives on (fixed at creation).
+    pub(crate) fn owner(&self, id: u32) -> NodeId {
+        match self {
+            PortsHandle::Local(v) => v[id as usize].owner,
+            PortsHandle::Shared(m) => m.lock().expect("ports mutex poisoned")[id as usize].owner,
+        }
+    }
+
+    /// Atomically replace the port's tail variable, returning the old tail.
+    pub(crate) fn swap_tail(&mut self, id: u32, new_tail: VarId) -> VarId {
+        match self {
+            PortsHandle::Local(v) => std::mem::replace(&mut v[id as usize].tail, new_tail),
+            PortsHandle::Shared(m) => {
+                let mut v = m.lock().expect("ports mutex poisoned");
+                std::mem::replace(&mut v[id as usize].tail, new_tail)
+            }
+        }
+    }
+}
+
+/// Atomic counters one sharded run's workers share.
+#[derive(Clone)]
+struct WorldHooks {
+    /// Global reduction count: the budget is a property of the run, not of
+    /// any one worker.
+    budget: Arc<AtomicU64>,
+    /// Global sequence counter backing `unique_id/1`.
+    seq: Arc<AtomicU64>,
+    /// Queued-or-in-flight non-timer work across all shards. While nonzero,
+    /// `'$timer'` deadlines are deferred: a timeout fires only once the
+    /// value it guards has had every chance to arrive (lazy-timer rule).
+    regular: Arc<AtomicU64>,
+}
+
+/// Shared state backing one multi-worker run: the striped variable store,
+/// the port table, and the run-global counters. Cheap to clone; every worker
+/// machine holds the same underlying `Arc`s.
+#[derive(Clone)]
+pub struct SharedWorld {
+    store: Arc<SharedStore>,
+    ports: Arc<Mutex<Vec<PortState>>>,
+    hooks: WorldHooks,
+}
+
+impl SharedWorld {
+    /// Shared state for `threads` workers (one store stripe per worker).
+    pub fn new(threads: usize) -> SharedWorld {
+        SharedWorld {
+            store: Arc::new(SharedStore::new(threads.max(1) as u32)),
+            ports: Arc::new(Mutex::new(Vec::new())),
+            hooks: WorldHooks {
+                budget: Arc::new(AtomicU64::new(0)),
+                seq: Arc::new(AtomicU64::new(0)),
+                regular: Arc::new(AtomicU64::new(0)),
+            },
+        }
+    }
+
+    /// Queued or in-flight non-timer work across all workers. Zero means any
+    /// deferred timers may legally fire.
+    pub fn regular_pending(&self) -> u64 {
+        self.hooks.regular.load(AtomicOrdering::SeqCst)
+    }
+
+    /// Reductions performed so far across all workers.
+    pub fn reductions(&self) -> u64 {
+        self.hooks.budget.load(AtomicOrdering::Relaxed)
+    }
+}
+
+/// One worker's slice of a run report, merged by [`merge_shard_reports`].
+pub struct ShardReport {
+    pub metrics: Metrics,
+    pub output: Vec<String>,
+    pub errors: Vec<(Time, StrandError)>,
+    pub suspended_goals: Vec<Term>,
+    pub suspended: usize,
+    pub trace: Vec<TraceEvent>,
 }
 
 /// A process suspended on a set of variables.
@@ -157,10 +371,10 @@ pub struct RunReport {
 pub struct Machine {
     pub(crate) program: Arc<CompiledProgram>,
     pub(crate) config: MachineConfig,
-    pub(crate) store: Store,
+    pub(crate) store: StoreHandle,
     nodes: Vec<Node>,
     suspended: HashMap<u64, Susp>,
-    pub(crate) ports: Vec<PortState>,
+    pub(crate) ports: PortsHandle,
     pub(crate) rng: SplitMix64,
     pub(crate) metrics: Metrics,
     next_pid: u64,
@@ -187,16 +401,20 @@ pub struct Machine {
     /// Resolved snapshots of goals lost with crashed nodes (capped at 16).
     dead_goals: Vec<Term>,
     dead_count: usize,
-    /// Counter backing the `unique_id/1` builtin (sequence numbers).
+    /// Counter backing the `unique_id/1` builtin (sequence numbers) when the
+    /// machine runs alone; sharded workers use the shared `hooks.seq`.
     pub(crate) seq_counter: u64,
-    /// When set, newly runnable processes go here instead of the per-node
-    /// heaps — the multi-threaded backend drains this after every step and
-    /// routes the jobs over channels.
-    outbox: Option<Vec<Job>>,
-    /// Defer pure foreign calls (see [`crate::foreign::PendingForeign`]).
-    pub(crate) defer_pure: bool,
-    /// Deferred foreign call produced by the current reduction, if any.
-    pending_foreign: Option<crate::foreign::PendingForeign>,
+    /// `Some((worker_index, threads))` in sharded execution: this machine
+    /// owns exactly the nodes with `node mod threads == worker_index`, and
+    /// events for other shards accumulate in `outbox`.
+    shard: Option<(usize, usize)>,
+    /// Cross-shard events awaiting routing (sharded execution only).
+    outbox: Vec<Routed>,
+    /// Run-global atomic counters (sharded execution only).
+    hooks: Option<WorldHooks>,
+    /// `'$timer'` deadlines parked while the global in-flight gate is
+    /// nonzero (see [`Machine::release_timers`]).
+    deferred_timers: Vec<(NodeId, QItem)>,
 }
 
 impl Machine {
@@ -236,8 +454,8 @@ impl Machine {
                 })
                 .collect(),
             suspended: HashMap::new(),
-            ports: Vec::new(),
-            store: Store::new(),
+            ports: PortsHandle::Local(Vec::new()),
+            store: StoreHandle::Local(Store::new()),
             next_pid: 0,
             output: Vec::new(),
             errors: Vec::new(),
@@ -248,19 +466,50 @@ impl Machine {
             trace: Vec::new(),
             program: Arc::new(program),
             config,
-            outbox: None,
-            defer_pure: false,
-            pending_foreign: None,
+            shard: None,
+            outbox: Vec::new(),
+            hooks: None,
+            deferred_timers: Vec::new(),
         }
     }
 
+    /// Build one worker's machine for a sharded run: same program and config
+    /// as the simulator would use, but variables, ports, budget and sequence
+    /// numbers live in the shared `world`, and process ids are offset so
+    /// every worker allocates from a disjoint range (see
+    /// [`WORKER_PID_SHIFT`]).
+    pub fn new_worker(
+        program: Arc<CompiledProgram>,
+        config: MachineConfig,
+        world: &SharedWorld,
+        idx: usize,
+        threads: usize,
+    ) -> Machine {
+        debug_assert!(idx < threads);
+        let mut m = Machine::new(CompiledProgram::default(), config);
+        m.program = program;
+        m.store = StoreHandle::Shared(SharedStoreView::new(Arc::clone(&world.store), idx as u32));
+        m.ports = PortsHandle::Shared(Arc::clone(&world.ports));
+        m.next_pid = (idx as u64) << WORKER_PID_SHIFT;
+        // Worker 0 keeps the configured seed so 1-thread runs draw the same
+        // `rand_num` sequence as the simulator; other workers decorrelate.
+        m.rng = SplitMix64::new(
+            m.config
+                .seed
+                .wrapping_add((idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        );
+        m.shard = Some((idx, threads));
+        m.hooks = Some(world.hooks.clone());
+        m
+    }
+
     /// Access the store (for seeding goals and reading results).
-    pub fn store(&self) -> &Store {
+    pub fn store(&self) -> &StoreHandle {
         &self.store
     }
 
     /// Mutable store access (goal construction).
-    pub fn store_mut(&mut self) -> &mut Store {
+    pub fn store_mut(&mut self) -> &mut StoreHandle {
         &mut self.store
     }
 
@@ -288,7 +537,14 @@ impl Machine {
         let tracked = goal
             .functor()
             .is_some_and(|(name, _)| self.config.tracked.contains(name.as_str()));
-        if tracked {
+        // In sharded execution, tracked-process gauges are per-owner: the
+        // receiving worker counts the spawn when the job arrives (see
+        // `absorb`), so spawn/done pairs always land on the same machine.
+        if tracked
+            && self
+                .shard
+                .is_none_or(|(me, threads)| node.0 as usize % threads == me)
+        {
             self.metrics.track_spawn(node);
         }
         let pid = self.fresh_pid();
@@ -303,18 +559,71 @@ impl Machine {
         );
     }
 
-    /// Hand a runnable process to the scheduler: the per-node heap normally,
-    /// the outbox when an external driver is routing jobs itself.
+    /// Hand a runnable process to the scheduler: the per-node heap when this
+    /// machine owns the node, the outbox otherwise (sharded execution). Every
+    /// non-timer item raises the global in-flight gate; the count drops when
+    /// the item is reduced or discarded, so a zero gate means no regular work
+    /// exists anywhere — the condition for deferred timers to fire.
     fn push_item(&mut self, node: NodeId, item: QItem) {
-        if let Some(out) = &mut self.outbox {
-            out.push(Job { item, node });
-            return;
+        if let Some((me, threads)) = self.shard {
+            if !goal_is_timer(&item.goal) {
+                self.gate_add(1);
+            }
+            if node.0 as usize % threads != me {
+                self.outbox.push(Routed::Job(Job { item, node }));
+                return;
+            }
         }
+        self.insert_local(node, item);
+    }
+
+    /// Insert into the node's heap without gate accounting (the sender
+    /// already counted routed items).
+    fn insert_local(&mut self, node: NodeId, item: QItem) {
         let nq = &mut self.nodes[node.0 as usize];
         nq.queue.push(item);
         let qlen = nq.queue.len();
         if qlen > self.metrics.peak_queue[node.0 as usize] {
             self.metrics.peak_queue[node.0 as usize] = qlen;
+        }
+    }
+
+    fn gate_add(&self, n: u64) {
+        if let Some(h) = &self.hooks {
+            h.regular.fetch_add(n, AtomicOrdering::SeqCst);
+        }
+    }
+
+    fn gate_sub(&self, n: u64) {
+        if let Some(h) = &self.hooks {
+            let prev = h.regular.fetch_sub(n, AtomicOrdering::SeqCst);
+            debug_assert!(prev >= n, "in-flight gate underflow");
+        }
+    }
+
+    /// Reductions performed so far — run-global in sharded execution.
+    fn budget_spent(&self) -> u64 {
+        match &self.hooks {
+            Some(h) => h.budget.load(AtomicOrdering::Relaxed),
+            None => self.total_reductions,
+        }
+    }
+
+    fn charge_reduction(&mut self) {
+        self.total_reductions += 1;
+        if let Some(h) = &self.hooks {
+            h.budget.fetch_add(1, AtomicOrdering::Relaxed);
+        }
+    }
+
+    /// Next `unique_id/1` value — run-global in sharded execution.
+    pub(crate) fn next_unique_id(&mut self) -> u64 {
+        match &self.hooks {
+            Some(h) => h.seq.fetch_add(1, AtomicOrdering::Relaxed) + 1,
+            None => {
+                self.seq_counter += 1;
+                self.seq_counter
+            }
         }
     }
 
@@ -430,6 +739,21 @@ impl Machine {
 
     fn wake(&mut self, waiters: Vec<u64>, bind_time: Time, binder: NodeId) {
         for pid in waiters {
+            if let Some((me, _)) = self.shard {
+                if (pid >> WORKER_PID_SHIFT) as usize != me {
+                    // Another worker owns the suspension: route the wake-up.
+                    // It counts against the gate until the owner applies it
+                    // (see `apply_wake`), so quiescence cannot be announced
+                    // with the wake still in flight.
+                    self.gate_add(1);
+                    self.outbox.push(Routed::Wake {
+                        pid,
+                        time: bind_time,
+                        binder,
+                    });
+                    continue;
+                }
+            }
             let Some(susp) = self.suspended.remove(&pid) else {
                 continue; // already woken through another variable
             };
@@ -690,33 +1014,19 @@ impl Machine {
         self.enqueue(goal, NodeId(0), 0);
     }
 
-    // --- Step-driver interface -------------------------------------------
+    // --- Sharded execution -----------------------------------------------
     //
-    // The multi-threaded backend (crate `strand-parallel`) does not use the
-    // discrete-event loop in `run`. Instead it puts the machine in capture
-    // mode, hands each runnable process to a worker thread as a [`Job`], and
-    // calls [`Machine::step`] under a lock — newly spawned processes come
-    // back through the outbox and are routed over channels.
+    // The multi-threaded backend (crate `strand-parallel`) runs one Machine
+    // per worker. Each worker owns the nodes with `node mod threads == idx`
+    // outright — run queues, suspension tables, clocks — and shares only the
+    // striped variable store, the port table and three atomic counters.
+    // Workers alternate `drain_local` (reduce owned work; no lock wider than
+    // a store stripe is ever held) with routing the outbox to peers and
+    // absorbing their batches. There is no global machine lock.
 
-    /// Switch spawn capture on or off. While on, every newly runnable
-    /// process lands in the outbox (see [`Machine::take_outbox`]) instead of
-    /// the per-node scheduler heaps.
-    pub fn capture_spawns(&mut self, on: bool) {
-        self.outbox = if on { Some(Vec::new()) } else { None };
-    }
-
-    /// Defer pure foreign calls so they can run outside the machine lock
-    /// ([`StepOutcome::Foreign`]).
-    pub fn set_defer_pure(&mut self, on: bool) {
-        self.defer_pure = on;
-    }
-
-    /// Drain the captured jobs (capture mode only).
-    pub fn take_outbox(&mut self) -> Vec<Job> {
-        match &mut self.outbox {
-            Some(out) => std::mem::take(out),
-            None => Vec::new(),
-        }
+    /// Drain the cross-shard events produced since the last call.
+    pub fn take_outbox(&mut self) -> Vec<Routed> {
+        std::mem::take(&mut self.outbox)
     }
 
     /// Processes currently suspended on unbound variables.
@@ -724,94 +1034,211 @@ impl Machine {
         self.suspended.len()
     }
 
-    /// Record the budget-exhausted error once (step drivers call this the
-    /// first time they see [`StepOutcome::BudgetExhausted`]).
+    /// Record the budget-exhausted error once (the worker that first
+    /// observes [`DrainState::Budget`] calls this).
     pub fn note_truncated(&mut self) {
         let now = self.nodes[self.current_node.0 as usize].clock;
-        self.errors.push((
-            now,
-            StrandError::BudgetExhausted {
-                reductions: self.total_reductions,
-            },
-        ));
+        let reductions = self.budget_spent();
+        self.errors
+            .push((now, StrandError::BudgetExhausted { reductions }));
     }
 
-    /// Reduce one job, with the same budget, cost, and metrics accounting as
-    /// the event loop in [`Machine::run`]. Errors follow `fail_fast`: with it
-    /// on, runtime errors surface as `Err`; with it off they are collected
-    /// and the run continues.
-    pub fn step(&mut self, job: Job) -> StrandResult<StepOutcome> {
-        let Job { item, node } = job;
-        let i = node.0 as usize;
-        if self.crashed[i] {
-            return Ok(StepOutcome::Reduced); // dead nodes accept no work
+    /// Does this machine own `node`'s run queue and suspensions?
+    fn owns(&self, node: NodeId) -> bool {
+        match self.shard {
+            Some((me, threads)) => node.0 as usize % threads == me,
+            None => true,
         }
-        // Cancelled timers evaporate without consuming budget (see `run`).
-        if let Some(("$timer", 2)) = item.goal.functor().map(|(n, a)| (n.as_str(), a)) {
-            if !matches!(self.store.deref(&item.goal.goal_args()[0]), Term::Var(_)) {
-                return Ok(StepOutcome::Reduced);
+    }
+
+    /// Apply a batch of events routed from other workers.
+    pub fn absorb(&mut self, batch: Vec<Routed>) {
+        for event in batch {
+            match event {
+                Routed::Job(job) => {
+                    let Job { item, node } = job;
+                    debug_assert!(self.owns(node), "job routed to wrong shard");
+                    if item.tracked {
+                        self.metrics.track_spawn(node);
+                    }
+                    self.insert_local(node, item);
+                }
+                Routed::Wake { pid, time, binder } => self.apply_wake(pid, time, binder),
             }
         }
-        if self.total_reductions >= self.config.max_reductions {
-            if self.config.fail_fast {
-                return Err(StrandError::BudgetExhausted {
-                    reductions: self.total_reductions + 1,
-                });
-            }
-            return Ok(StepOutcome::BudgetExhausted);
+    }
+
+    /// Apply a routed wake-up for a pid this worker owns. A stale wake-up —
+    /// the process already woke through another variable — is dropped; its
+    /// gate reservation is still settled.
+    fn apply_wake(&mut self, pid: u64, bind_time: Time, binder: NodeId) {
+        self.gate_sub(1); // the wake has arrived
+        let Some(susp) = self.suspended.remove(&pid) else {
+            return;
+        };
+        for v in &susp.vars {
+            self.store.remove_waiter(*v, pid);
         }
-        self.total_reductions += 1;
-        self.current_node = node;
-        self.extra_cost = 0;
-        let start = self.nodes[i].clock.max(item.ready_at);
-        self.nodes[i].clock = start;
+        let arrival = if susp.node == binder {
+            bind_time
+        } else {
+            self.metrics.count_message(binder, susp.node);
+            bind_time + self.config.latency
+        };
         if self.config.record_trace {
-            self.trace.push(TraceEvent::Reduce {
-                time: start,
-                node,
-                pid: item.pid,
-                goal: goal_text(&item.goal),
+            self.trace.push(TraceEvent::Wake {
+                time: arrival,
+                binder,
+                node: susp.node,
+                pid,
             });
         }
-        let step_result = self.reduce(item);
-        let cost = (self.config.reduction_cost + self.extra_cost) * self.slowdown[i];
-        self.nodes[i].clock = start + cost;
-        self.metrics.busy[i] += cost;
-        self.metrics.reductions[i] += 1;
-        step_result?;
-        if let Some(pf) = self.pending_foreign.take() {
-            return Ok(StepOutcome::Foreign(pf));
-        }
-        Ok(StepOutcome::Reduced)
+        self.push_item(
+            susp.node,
+            QItem {
+                ready_at: arrival,
+                pid,
+                goal: susp.goal,
+                tracked: susp.tracked,
+            },
+        );
     }
 
-    /// Finish a deferred pure foreign call: charge its virtual cost to the
-    /// calling node and bind the output (waking waiters). `result` is what
-    /// [`PendingForeign::compute`](crate::foreign::PendingForeign::compute)
-    /// returned off-lock.
-    pub fn complete_foreign(
-        &mut self,
-        pf: crate::foreign::PendingForeign,
-        result: StrandResult<(Term, Time)>,
-    ) -> StrandResult<()> {
-        let i = pf.node.0 as usize;
-        self.current_node = pf.node;
-        self.extra_cost = 0;
-        let start = self.nodes[i].clock;
-        let name = pf.name.clone();
-        let arity = pf.arity;
-        let tracked = pf.tracked;
-        let outcome = self.finish_foreign_call(&name, arity, result, pf.out)?;
-        if tracked {
-            self.metrics.track_done(pf.node);
+    /// Reduce up to `max_steps` owned processes, using the same
+    /// earliest-event selection as [`Machine::run`] restricted to this
+    /// shard's nodes. Cancelled `'$timer'` deadlines evaporate as in `run`;
+    /// live ones are parked while the global in-flight gate is nonzero, so a
+    /// timeout only fires once the value it guards has had every chance to
+    /// arrive.
+    pub fn drain_local(&mut self, max_steps: u32) -> StrandResult<DrainState> {
+        let (me, threads) = self.shard.expect("drain_local requires a sharded machine");
+        let mut steps = 0u32;
+        loop {
+            if steps >= max_steps {
+                return Ok(DrainState::More);
+            }
+            let mut best: Option<(Time, usize)> = None;
+            for i in (me..self.nodes.len()).step_by(threads) {
+                if let Some(top) = self.nodes[i].queue.peek() {
+                    let key = self.nodes[i].clock.max(top.ready_at);
+                    if best.is_none_or(|(bk, _)| key < bk) {
+                        best = Some((key, i));
+                    }
+                }
+            }
+            let Some((start, i)) = best else {
+                return Ok(if self.deferred_timers.is_empty() {
+                    DrainState::Idle
+                } else {
+                    DrainState::TimersOnly
+                });
+            };
+            if self.budget_spent() >= self.config.max_reductions {
+                if self.config.fail_fast {
+                    return Err(StrandError::BudgetExhausted {
+                        reductions: self.budget_spent() + 1,
+                    });
+                }
+                return Ok(DrainState::Budget);
+            }
+            let item = self.nodes[i].queue.pop().expect("peeked nonempty queue");
+            let regular = !goal_is_timer(&item.goal);
+            if !regular {
+                if !matches!(self.store.deref(&item.goal.goal_args()[0]), Term::Var(_)) {
+                    continue; // cancelled: evaporate without budget or clock
+                }
+                if self
+                    .hooks
+                    .as_ref()
+                    .is_some_and(|h| h.regular.load(AtomicOrdering::SeqCst) > 0)
+                {
+                    self.deferred_timers.push((NodeId(i as u32), item));
+                    continue;
+                }
+            }
+            self.charge_reduction();
+            self.current_node = NodeId(i as u32);
+            self.extra_cost = 0;
+            self.nodes[i].clock = start;
+            if self.config.record_trace {
+                self.trace.push(TraceEvent::Reduce {
+                    time: start,
+                    node: self.current_node,
+                    pid: item.pid,
+                    goal: goal_text(&item.goal),
+                });
+            }
+            let step_result = self.reduce(item);
+            let cost = (self.config.reduction_cost + self.extra_cost) * self.slowdown[i];
+            self.nodes[i].clock = start + cost;
+            self.metrics.busy[i] += cost;
+            self.metrics.reductions[i] += 1;
+            if regular {
+                self.gate_sub(1);
+            }
+            step_result?;
+            steps += 1;
         }
-        let cost = self.extra_cost * self.slowdown[i];
-        self.nodes[i].clock = start + cost;
-        self.metrics.busy[i] += cost;
-        match outcome {
-            crate::foreign::ForeignOutcome::Done => Ok(()),
-            crate::foreign::ForeignOutcome::Error(e) => self.record_error(e),
-            _ => unreachable!("completion cannot suspend or defer"),
+    }
+
+    /// Re-queue parked `'$timer'` deadlines. The worker calls this when the
+    /// global in-flight gate reads zero; a timer whose cancel flag arrived
+    /// in the meantime evaporates on the next drain.
+    pub fn release_timers(&mut self) {
+        for (node, item) in std::mem::take(&mut self.deferred_timers) {
+            self.insert_local(node, item);
+        }
+    }
+
+    /// Drop all queued work (run aborted or truncated), settling gate and
+    /// tracked-process accounting so merged metrics stay consistent.
+    pub fn discard_local(&mut self) {
+        for i in 0..self.nodes.len() {
+            let items: Vec<QItem> = self.nodes[i].queue.drain().collect();
+            for item in items {
+                if !goal_is_timer(&item.goal) {
+                    self.gate_sub(1);
+                }
+                if item.tracked {
+                    self.metrics.track_done(NodeId(i as u32));
+                }
+            }
+        }
+        self.deferred_timers.clear();
+    }
+
+    /// Discard a routed batch unapplied (run aborted): settle the gate.
+    pub fn discard_routed(&mut self, batch: Vec<Routed>) {
+        for event in batch {
+            match event {
+                Routed::Job(job) => {
+                    if !goal_is_timer(&job.item.goal) {
+                        self.gate_sub(1);
+                    }
+                }
+                Routed::Wake { .. } => self.gate_sub(1),
+            }
+        }
+    }
+
+    /// Snapshot this worker's slice of the final report.
+    pub fn finalize_shard(&mut self) -> ShardReport {
+        self.metrics.makespan = self.nodes.iter().map(|n| n.clock).max().unwrap_or(0);
+        self.metrics.total_reductions = self.total_reductions;
+        let mut suspended_goals: Vec<Term> = self
+            .suspended
+            .values()
+            .take(16)
+            .map(|s| self.store.resolve(&s.goal))
+            .collect();
+        suspended_goals.sort_by_key(|t| t.to_string());
+        ShardReport {
+            metrics: self.metrics.clone(),
+            output: std::mem::take(&mut self.output),
+            errors: std::mem::take(&mut self.errors),
+            suspended_goals,
+            suspended: self.suspended.len(),
+            trace: std::mem::take(&mut self.trace),
         }
     }
 
@@ -840,11 +1267,6 @@ impl Machine {
                     crate::foreign::ForeignOutcome::Error(e) => {
                         self.finish_tracked(&item);
                         self.record_error(e)?;
-                    }
-                    crate::foreign::ForeignOutcome::Deferred(mut pf) => {
-                        // The goal finishes at completion time, not now.
-                        pf.tracked = item.tracked;
-                        self.pending_foreign = Some(pf);
                     }
                 }
                 return Ok(());
@@ -1009,4 +1431,49 @@ pub(crate) enum Delivery {
     Drop,
     Duplicate,
     Delay(Time),
+}
+
+/// Merge per-worker shard reports into one run report. Output concatenates
+/// in worker order, so a 1-thread parallel run reads exactly like the
+/// simulator. Per-node counters add and per-node peaks/gauges take maxima —
+/// both exact, since each node lives on exactly one worker.
+pub fn merge_shard_reports(parts: Vec<ShardReport>, truncated: bool) -> RunReport {
+    let mut metrics: Option<Metrics> = None;
+    let mut output = Vec::new();
+    let mut errors = Vec::new();
+    let mut suspended_goals = Vec::new();
+    let mut suspended = 0usize;
+    let mut trace = Vec::new();
+    for part in parts {
+        match &mut metrics {
+            Some(m) => m.merge(&part.metrics),
+            None => metrics = Some(part.metrics),
+        }
+        output.extend(part.output);
+        errors.extend(part.errors);
+        suspended_goals.extend(part.suspended_goals);
+        suspended += part.suspended;
+        trace.extend(part.trace);
+    }
+    let metrics = metrics.unwrap_or_else(|| Metrics::new(0));
+    let status = if truncated {
+        RunStatus::Truncated {
+            reductions: metrics.total_reductions,
+        }
+    } else if suspended == 0 {
+        RunStatus::Completed
+    } else {
+        RunStatus::Quiescent { suspended }
+    };
+    suspended_goals.sort_by_key(|t| t.to_string());
+    suspended_goals.truncate(16);
+    RunReport {
+        status,
+        metrics,
+        output,
+        errors,
+        suspended_goals,
+        dead_goals: Vec::new(),
+        trace,
+    }
 }

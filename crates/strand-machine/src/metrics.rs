@@ -148,6 +148,53 @@ impl Metrics {
     pub fn max_peak_tracked(&self) -> u64 {
         self.peak_tracked.iter().copied().max().unwrap_or(0)
     }
+
+    /// Fold another worker's metrics into this one (sharded execution).
+    /// Counters add; per-node peaks and gauges take maxima. Both are exact,
+    /// not approximations: each node's queue, busy time and tracked gauge
+    /// live entirely on the worker that owns the node, so for any given
+    /// index at most one operand is nonzero.
+    pub fn merge(&mut self, other: &Metrics) {
+        fn add_vec<T: Copy + std::ops::AddAssign>(a: &mut [T], b: &[T]) {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += *y;
+            }
+        }
+        fn max_vec<T: Copy + Ord>(a: &mut [T], b: &[T]) {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x = (*x).max(*y);
+            }
+        }
+        add_vec(&mut self.reductions, &other.reductions);
+        add_vec(&mut self.busy, &other.busy);
+        self.suspensions += other.suspensions;
+        for (row, orow) in self.messages.iter_mut().zip(&other.messages) {
+            add_vec(row, orow);
+        }
+        for (name, count) in &other.port_msgs_by_functor {
+            *self.port_msgs_by_functor.entry(name.clone()).or_insert(0) += count;
+        }
+        self.port_msgs_cross += other.port_msgs_cross;
+        self.port_msgs_local += other.port_msgs_local;
+        self.remote_spawns += other.remote_spawns;
+        max_vec(&mut self.peak_tracked, &other.peak_tracked);
+        add_vec(&mut self.live_tracked, &other.live_tracked);
+        max_vec(&mut self.peak_queue, &other.peak_queue);
+        self.makespan = self.makespan.max(other.makespan);
+        self.total_reductions += other.total_reductions;
+        let nodes = self.reductions.len();
+        for (name, gauge) in &other.gauges {
+            let g = self
+                .gauges
+                .entry(name.clone())
+                .or_insert_with(|| vec![0; nodes]);
+            max_vec(g, gauge);
+        }
+        self.msgs_dropped += other.msgs_dropped;
+        self.msgs_duplicated += other.msgs_duplicated;
+        self.msgs_delayed += other.msgs_delayed;
+        self.nodes_crashed += other.nodes_crashed;
+    }
 }
 
 #[cfg(test)]

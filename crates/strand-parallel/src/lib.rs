@@ -4,40 +4,51 @@
 //! paper's programs describe *genuinely parallel* computations; the
 //! deterministic simulator in `strand-machine` schedules them on one OS
 //! thread under virtual clocks, while this crate runs the same compiled
-//! programs on real worker threads:
+//! programs on real worker threads with **sharded state** — there is no
+//! global machine lock:
 //!
 //! * each virtual node is assigned to one worker (node `i` → worker
-//!   `i % threads`, one worker per node up to the machine's parallelism);
-//! * runnable processes travel between workers over crossbeam channels —
-//!   an inter-node send in the program is a channel send here;
-//! * idle workers park inside a blocking `recv` and are woken by the
-//!   channel when work arrives;
-//! * termination is detected by a shared atomic in-flight counter: it is
-//!   incremented *before* every send and decremented only after a job has
-//!   been fully processed (including routing its spawns), so reaching zero
-//!   proves global quiescence — the worker that observes it broadcasts a
-//!   stop message;
-//! * the machine state (store, suspension table, ports, metrics) lives
-//!   behind one `parking_lot::Mutex`; *pure* foreign procedures
-//!   ([`strand_machine::ForeignLib`]) execute outside that lock, so native
-//!   computation genuinely overlaps coordination and other native calls.
+//!   `i % threads`); the worker *owns* its nodes' run queues, suspension
+//!   table and metrics outright and touches them without synchronisation;
+//! * logic variables live in a striped
+//!   [`strand_core::SharedStore`] — every `VarId` carries the stripe of
+//!   the worker that created it, so a worker binding its own variables
+//!   takes only its own stripe's lock (cross-stripe binds lock the two
+//!   stripes in index order);
+//! * cross-worker events — remote spawns, port sends, binding wakeups —
+//!   are buffered per destination and shipped as *batches* over crossbeam
+//!   channels (a batch flushes at [`BATCH_MAX`] events or when the worker
+//!   runs out of local work), amortising channel traffic;
+//! * *pure* foreign procedures ([`strand_machine::ForeignLib`]) run inline
+//!   on the owning worker — there is no lock to hold, so native
+//!   computation on one worker genuinely overlaps everything else;
+//! * idle workers park inside a blocking `recv`; termination is detected
+//!   by a single token counter over busy workers and in-flight batches
+//!   (incremented *before* every send), model-checked in [`quiesce`] —
+//!   reaching zero proves global quiescence and the worker that observes
+//!   it broadcasts stop.
 //!
 //! ## Determinism contract
 //!
-//! The simulator stays the deterministic reference. This backend promises
-//! only *confluence*: for fault-free programs whose observable values do
-//! not depend on `rand_num` draw order, the final bindings are the same as
-//! the simulator's, and `print/1` output and `merge/2` results agree as
-//! multisets. Virtual-time metrics (makespan, busy) are still collected but
-//! depend on the interleaving. Fault injection is rejected. There is no
-//! global virtual clock, so `after_unless/4` deadlines are approximated
-//! *lazily*: a timer process is requeued while any regular work is
-//! runnable and fires only when the system is otherwise idle — a timeout
-//! can only be observed once the value it guards has had every chance to
-//! arrive, which is exactly the simulator's behaviour for fault-free runs.
-//! See DESIGN.md §Execution backends. The conformance harness in the
-//! workspace root (`tests/conformance.rs`) checks the contract on every
-//! inventory motif program.
+//! The simulator stays the deterministic reference. On **one** worker
+//! thread this backend is an exact replica of it for fault-free programs
+//! without `merge/2` or `after_unless/4`: worker 0 allocates the same
+//! process ids, draws the same `rand_num` sequence, selects runnable work
+//! from the same heaps in the same order and allocates variables in the
+//! same order, so status, bindings *and* print order coincide. On more
+//! threads it promises *confluence*: final bindings equal the simulator's,
+//! and `print/1` output and `merge/2` results agree as multisets.
+//! Virtual-time metrics (makespan, busy) are still collected but depend on
+//! the interleaving. Fault injection is rejected. There is no global
+//! virtual clock, so `after_unless/4` deadlines are approximated *lazily*:
+//! a worker defers timer processes while any regular work is pending
+//! anywhere (a shared gate counts it) and fires them only when the system
+//! is otherwise idle — a timeout can only be observed once the value it
+//! guards has had every chance to arrive, which is exactly the simulator's
+//! behaviour for fault-free runs. See DESIGN.md §Execution backends. The
+//! conformance harness in the workspace root (`tests/conformance.rs`)
+//! checks the contract on every inventory motif program at 1, 2, 4 and 8
+//! threads.
 //!
 //! ## Usage
 //!
@@ -53,51 +64,58 @@
 //! assert_eq!(r.bindings["V"].to_string(), "42");
 //! ```
 
-use crossbeam::channel::{bounded, Receiver, Sender};
+mod quiesce;
+
+use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError};
 use parking_lot::Mutex;
+use quiesce::Tokens;
 use skeletons::WorkerSet;
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use strand_core::{StrandError, StrandResult};
 use strand_machine::{
-    ast_to_term, Backend, ExecBackend, ForeignLib, GoalResult, Job, Machine, MachineConfig,
-    StepOutcome,
+    ast_to_term, merge_shard_reports, Backend, DrainState, ExecBackend, ForeignLib, GoalResult,
+    Machine, MachineConfig, Routed, SharedWorld,
 };
 use strand_parse::{compile_program, parse_term, Program};
 
-/// Per-worker channel capacity. The vendored crossbeam stub has no
-/// unbounded channels; a deep bound keeps `send` from blocking in practice
-/// (a full channel would only deadlock if two workers blocked sending to
-/// each other — at this depth that means ~10⁶ undelivered processes per
-/// worker, far beyond any workload in the repo).
+/// Per-worker channel capacity (in batches). The vendored crossbeam stub
+/// has no unbounded channels; a deep bound keeps `send` from blocking in
+/// practice (a full channel would only deadlock if two workers blocked
+/// sending to each other — at this depth that means ~10⁶ undelivered
+/// batches per worker, far beyond any workload in the repo).
 const CHANNEL_CAP: usize = 1 << 20;
 
+/// Cross-worker events buffered per destination before a batch ships.
+/// Batches also flush whenever the sending worker runs out of local work,
+/// so a small value only costs throughput, never liveness.
+const BATCH_MAX: usize = 32;
+
+/// Reductions a worker performs per scheduling turn before it services its
+/// channel and flushes outbound batches. Bounds the latency between a peer
+/// sending us work and us seeing it.
+const DRAIN_STEPS: u32 = 64;
+
 enum Msg {
-    Job(Job),
+    /// Cross-worker events for the receiving worker's shard. Carries one
+    /// quiescence token, minted by the sender before the send.
+    Batch(Vec<Routed>),
     Stop,
 }
 
 struct Shared {
-    machine: Mutex<Machine>,
-    /// Jobs sent but not yet fully processed (incremented before the send,
-    /// decremented after the receiving worker finishes routing the job's
-    /// spawns). Zero ⇒ global quiescence.
-    in_flight: AtomicU64,
+    /// Busy workers + in-flight batches; zero ⇒ global quiescence.
+    tokens: Tokens,
     senders: Vec<Sender<Msg>>,
-    /// Set on fatal error or budget exhaustion: remaining jobs drain
-    /// unprocessed so `in_flight` still reaches zero.
+    /// Set on fatal error, budget exhaustion or quiescence: workers discard
+    /// local work and exit.
     stopping: AtomicBool,
-    /// In-flight jobs that are `'$timer'/2` deadline processes. While
-    /// `in_flight > timer_jobs` there is regular work runnable somewhere,
-    /// and workers requeue timers instead of firing them (lazy deadlines;
-    /// see the module docs).
-    timer_jobs: AtomicU64,
     truncated: AtomicBool,
     fatal: Mutex<Option<StrandError>>,
-    worker_jobs: Vec<AtomicU64>,
+    world: SharedWorld,
     threads: usize,
 }
 
@@ -162,15 +180,27 @@ fn run_parallel(
     }
     let threads = resolve_threads(&config);
     let goal_ast = parse_term(goal_src).map_err(|e| StrandError::Other(e.to_string()))?;
-    let compiled = compile_program(program).map_err(|e| StrandError::Other(e.to_string()))?;
-    let mut machine = Machine::new(compiled, config);
-    machine.install_lib(lib);
-    machine.set_defer_pure(true);
-    machine.capture_spawns(true);
+    let compiled =
+        Arc::new(compile_program(program).map_err(|e| StrandError::Other(e.to_string()))?);
+    let world = SharedWorld::new(threads);
+    let mut machines: Vec<Machine> = (0..threads)
+        .map(|idx| {
+            let mut m =
+                Machine::new_worker(Arc::clone(&compiled), config.clone(), &world, idx, threads);
+            m.install_lib(lib);
+            m
+        })
+        .collect();
     let mut vars = BTreeMap::new();
-    let goal = ast_to_term(&goal_ast, &mut machine, &mut vars);
-    machine.start(goal);
-    let initial = machine.take_outbox();
+    let goal = ast_to_term(&goal_ast, &mut machines[0], &mut vars);
+    machines[0].start(goal);
+    // Node 0 belongs to worker 0, so the seed goal lands in its own heap;
+    // anything the goal term routed elsewhere is delivered directly while
+    // the machines are still on this thread.
+    for r in machines[0].take_outbox() {
+        let w = r.dest_worker(threads);
+        machines[w].absorb(vec![r]);
+    }
 
     let mut senders = Vec::with_capacity(threads);
     let mut receivers: Vec<Option<Receiver<Msg>>> = Vec::with_capacity(threads);
@@ -180,29 +210,37 @@ fn run_parallel(
         receivers.push(Some(rx));
     }
     let shared = Arc::new(Shared {
-        machine: Mutex::new(machine),
-        in_flight: AtomicU64::new(0),
+        tokens: Tokens::new(threads as u64),
         senders,
         stopping: AtomicBool::new(false),
-        timer_jobs: AtomicU64::new(0),
         truncated: AtomicBool::new(false),
         fatal: Mutex::new(None),
-        worker_jobs: (0..threads).map(|_| AtomicU64::new(0)).collect(),
+        world,
         threads,
     });
+    // Each worker takes its machine out of a slot and puts it back on exit
+    // so the shard reports can be merged after the join.
+    let slots: Arc<Vec<Mutex<Option<Machine>>>> =
+        Arc::new(machines.into_iter().map(|m| Mutex::new(Some(m))).collect());
 
     let t0 = Instant::now();
-    route(&shared, initial);
-    if shared.in_flight.load(Ordering::Acquire) == 0 {
-        // Defensive: an empty seed would leave workers parked forever.
-        for s in &shared.senders {
-            let _ = s.send(Msg::Stop);
-        }
-    }
     let workers = WorkerSet::spawn(threads, "strand-node", |idx| {
         let shared = Arc::clone(&shared);
+        let slots = Arc::clone(&slots);
         let rx = receivers[idx].take().expect("one receiver per worker");
-        Box::new(move || worker_loop(&shared, idx, rx))
+        Box::new(move || {
+            let mut m = slots[idx].lock().take().expect("one machine per worker");
+            // A panic anywhere in the shard (engine bug, foreign closure)
+            // must not leave peers parked forever: surface it and stop.
+            let outcome = catch_unwind(AssertUnwindSafe(|| worker_loop(&shared, idx, &rx, &mut m)));
+            if outcome.is_err() {
+                fatal(
+                    &shared,
+                    StrandError::Other("worker panicked during reduction".to_string()),
+                );
+            }
+            *slots[idx].lock() = Some(m);
+        })
     });
     workers.join();
     let wall_ns = t0.elapsed().as_nanos() as u64;
@@ -211,147 +249,151 @@ fn run_parallel(
         return Err(e);
     }
     let truncated = shared.truncated.load(Ordering::Acquire);
-    let mut m = shared.machine.lock();
-    m.capture_spawns(false);
-    let mut report = m.build_report(truncated);
+    let mut machines: Vec<Machine> = slots
+        .iter()
+        .map(|s| s.lock().take().expect("worker returned its machine"))
+        .collect();
+    let parts: Vec<_> = machines.iter_mut().map(|m| m.finalize_shard()).collect();
+    let worker_jobs: Vec<u64> = parts.iter().map(|p| p.metrics.total_reductions).collect();
+    let mut report = merge_shard_reports(parts, truncated);
     report.metrics.wall_ns = wall_ns;
     report.metrics.threads_used = threads as u32;
-    report.metrics.worker_jobs = shared
-        .worker_jobs
-        .iter()
-        .map(|a| a.load(Ordering::Relaxed))
-        .collect();
+    report.metrics.worker_jobs = worker_jobs;
     let bindings = vars
         .into_iter()
-        .map(|(name, term)| (name, m.store().resolve(&term)))
+        .map(|(name, term)| (name, machines[0].store().resolve(&term)))
         .collect();
     Ok(GoalResult { report, bindings })
 }
 
-fn worker_loop(shared: &Shared, me: usize, rx: Receiver<Msg>) {
-    for msg in rx.iter() {
-        match msg {
-            Msg::Stop => break,
-            Msg::Job(job) => {
-                let job = match defer_timer(shared, me, job) {
-                    Some(job) => job,
-                    None => continue, // requeued for later
-                };
-                let is_timer = job.is_timer();
-                process_job(shared, me, job);
-                if is_timer {
-                    shared.timer_jobs.fetch_sub(1, Ordering::AcqRel);
+/// One worker's scheduling loop over its own shard. Alternates bounded
+/// reduction bursts with channel service; see the module docs for the
+/// batching and quiescence rules.
+fn worker_loop(shared: &Shared, me: usize, rx: &Receiver<Msg>, m: &mut Machine) {
+    let mut buffers: Vec<Vec<Routed>> = (0..shared.threads).map(|_| Vec::new()).collect();
+    loop {
+        if shared.stopping.load(Ordering::Acquire) {
+            // Fatal error, budget exhaustion or quiescence: settle the
+            // shared gate for everything still queued locally and exit.
+            m.discard_local();
+            for buf in &mut buffers {
+                m.discard_routed(std::mem::take(buf));
+            }
+            return;
+        }
+        // 1. Reduce a bounded burst of the shard's own work.
+        let state = match m.drain_local(DRAIN_STEPS) {
+            Ok(s) => s,
+            Err(e) => {
+                fatal(shared, e);
+                continue; // stopping is set; the next iteration discards
+            }
+        };
+        // 2. Route the burst's cross-worker events; ship full batches.
+        for r in m.take_outbox() {
+            let w = r.dest_worker(shared.threads);
+            debug_assert_ne!(w, me, "own-shard events never reach the outbox");
+            buffers[w].push(r);
+            if buffers[w].len() >= BATCH_MAX {
+                send_batch(shared, w, std::mem::take(&mut buffers[w]));
+            }
+        }
+        // 3. Absorb whatever peers sent meanwhile (non-blocking).
+        let mut received = false;
+        loop {
+            match rx.try_recv() {
+                Ok(Msg::Batch(batch)) => {
+                    // Busy: the batch's token dissolves into our own.
+                    shared.tokens.absorb();
+                    m.absorb(batch);
+                    received = true;
                 }
-                // Last in-flight job gone ⇒ global quiescence. The counter
-                // can only reach zero when no job exists anywhere (every
-                // sender increments before sending, and a processing worker
-                // holds its own job's count until its spawns are routed),
-                // so exactly one worker observes the 1→0 edge and tells
-                // everyone — including itself — to stop.
-                if shared.in_flight.fetch_sub(1, Ordering::AcqRel) == 1 {
-                    for s in &shared.senders {
-                        let _ = s.send(Msg::Stop);
+                Ok(Msg::Stop) => received = true, // loop top sees `stopping`
+                Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
+            }
+        }
+        match state {
+            DrainState::More => {}
+            DrainState::Budget => {
+                // Budget exhausted without fail-fast: truncate the run.
+                if !shared.truncated.swap(true, Ordering::AcqRel) {
+                    m.note_truncated();
+                }
+                stop(shared);
+            }
+            DrainState::TimersOnly => {
+                if received {
+                    continue;
+                }
+                // Deferred deadlines only fire once no regular work is
+                // pending anywhere — including in our own unsent buffers,
+                // so flush before consulting the shared gate.
+                flush_all(shared, &mut buffers);
+                if shared.world.regular_pending() == 0 {
+                    m.release_timers();
+                } else {
+                    // Regular work is pending on a peer; don't burn the
+                    // core while it drains. Staying busy keeps our token.
+                    std::thread::sleep(Duration::from_micros(50));
+                }
+            }
+            DrainState::Idle => {
+                if received {
+                    continue;
+                }
+                flush_all(shared, &mut buffers);
+                // Last non-blocking look before surrendering the token.
+                match rx.try_recv() {
+                    Ok(Msg::Batch(batch)) => {
+                        shared.tokens.absorb();
+                        m.absorb(batch);
+                        continue;
                     }
+                    Ok(Msg::Stop) => continue,
+                    Err(_) => {}
+                }
+                if shared.tokens.release() {
+                    // Ours was the last token: no busy worker, no batch in
+                    // flight anywhere (see quiesce.rs). Tell everyone.
+                    stop(shared);
+                    return;
+                }
+                // Park. A batch arriving now wakes us and its token
+                // becomes our busy token — no counter update.
+                match rx.recv() {
+                    Ok(Msg::Batch(batch)) => m.absorb(batch),
+                    Ok(Msg::Stop) | Err(_) => return,
                 }
             }
         }
     }
 }
 
-/// Lazy deadlines: while regular (non-timer) work is in flight anywhere,
-/// push a timer job to the back of this worker's own queue instead of
-/// firing it, so a timeout is only observed once the value it guards has
-/// had every chance to arrive. Returns the job when it should be processed
-/// now. The counter comparison is approximate — a transiently stale read
-/// at worst requeues once more or fires a timer early, both of which the
-/// semantics allow (a timer may legally fire at any time).
-fn defer_timer(shared: &Shared, me: usize, job: Job) -> Option<Job> {
-    if !job.is_timer() || shared.stopping.load(Ordering::Acquire) {
-        return Some(job);
-    }
-    if shared.in_flight.load(Ordering::Acquire) <= shared.timer_jobs.load(Ordering::Acquire) {
-        return Some(job); // only deadlines remain: time is up
-    }
-    match shared.senders[me].send(Msg::Job(job)) {
-        Ok(()) => {
-            // Don't spin on an otherwise-empty queue while another worker
-            // finishes the outstanding work.
-            std::thread::sleep(std::time::Duration::from_micros(50));
-            None
-        }
-        // Unreachable (this worker holds the receiver), but never drop a
-        // job: the in-flight counter depends on it being processed.
-        Err(crossbeam::channel::SendError(Msg::Job(job))) => Some(job),
-        Err(_) => None,
+/// Mint the batch's quiescence token and ship it. The increment MUST
+/// precede the send: see `quiesce.rs` for the model-checked argument.
+fn send_batch(shared: &Shared, w: usize, batch: Vec<Routed>) {
+    shared.tokens.add();
+    if shared.senders[w].send(Msg::Batch(batch)).is_err() {
+        // Receivers only disappear once the run is over; keep the counter
+        // honest regardless.
+        shared.tokens.retract();
     }
 }
 
-fn process_job(shared: &Shared, me: usize, job: Job) {
-    if shared.stopping.load(Ordering::Acquire) {
-        return; // draining after a fatal error or budget exhaustion
-    }
-    // A panic (in the engine or a foreign closure) must not strand the
-    // in-flight counter: convert it to a fatal error and keep draining.
-    let outcome = catch_unwind(AssertUnwindSafe(|| run_job(shared, me, job)));
-    match outcome {
-        Ok(Ok(())) => {}
-        Ok(Err(e)) => fatal(shared, e),
-        Err(_) => fatal(
-            shared,
-            StrandError::Other("worker panicked during reduction".to_string()),
-        ),
+fn flush_all(shared: &Shared, buffers: &mut [Vec<Routed>]) {
+    for (w, buf) in buffers.iter_mut().enumerate() {
+        if !buf.is_empty() {
+            send_batch(shared, w, std::mem::take(buf));
+        }
     }
 }
 
-fn run_job(shared: &Shared, me: usize, job: Job) -> StrandResult<()> {
-    shared.worker_jobs[me].fetch_add(1, Ordering::Relaxed);
-    let mut m = shared.machine.lock();
-    let outcome = m.step(job)?;
-    let spawned = m.take_outbox();
-    drop(m);
-    route(shared, spawned);
-    match outcome {
-        StepOutcome::Reduced => {}
-        StepOutcome::Foreign(pf) => {
-            // The native computation runs without the machine lock — this
-            // is where foreign work genuinely overlaps everything else.
-            let result = catch_unwind(AssertUnwindSafe(|| pf.compute())).unwrap_or_else(|_| {
-                Err(StrandError::Other("foreign procedure panicked".to_string()))
-            });
-            let mut m = shared.machine.lock();
-            m.complete_foreign(pf, result)?;
-            let woken = m.take_outbox();
-            drop(m);
-            route(shared, woken);
-        }
-        StepOutcome::BudgetExhausted => {
-            if !shared.truncated.swap(true, Ordering::AcqRel) {
-                shared.machine.lock().note_truncated();
-            }
-            shared.stopping.store(true, Ordering::Release);
-        }
-    }
-    Ok(())
-}
-
-/// Send newly runnable processes to their nodes' workers, incrementing the
-/// in-flight count *before* each send (the quiescence invariant).
-fn route(shared: &Shared, jobs: Vec<Job>) {
-    for job in jobs {
-        let w = job.node().0 as usize % shared.threads;
-        let is_timer = job.is_timer();
-        shared.in_flight.fetch_add(1, Ordering::AcqRel);
-        if is_timer {
-            shared.timer_jobs.fetch_add(1, Ordering::AcqRel);
-        }
-        if shared.senders[w].send(Msg::Job(job)).is_err() {
-            // Unreachable before quiescence (receivers outlive the run),
-            // but keep the counters honest.
-            if is_timer {
-                shared.timer_jobs.fetch_sub(1, Ordering::AcqRel);
-            }
-            shared.in_flight.fetch_sub(1, Ordering::AcqRel);
-        }
+/// Ask every worker — parked or busy — to wind down.
+fn stop(shared: &Shared) {
+    shared.stopping.store(true, Ordering::Release);
+    for s in &shared.senders {
+        // Sends may fail once peers have already exited; that's fine.
+        let _ = s.send(Msg::Stop);
     }
 }
 
@@ -361,7 +403,7 @@ fn fatal(shared: &Shared, e: StrandError) {
         *slot = Some(e);
     }
     drop(slot);
-    shared.stopping.store(true, Ordering::Release);
+    stop(shared);
 }
 
 #[cfg(test)]
@@ -426,5 +468,39 @@ mod tests {
             r.report.status
         );
         assert!(!r.report.errors.is_empty());
+    }
+
+    #[test]
+    fn cross_worker_spawns_complete() {
+        // Fan work across all four nodes (two per worker at 2 threads) and
+        // join the results through shared variables.
+        let src = r#"
+            fan(A, B, C, D) :-
+                leaf(10, A)@1, leaf(20, B)@2, leaf(30, C)@3, leaf(40, D)@0.
+            leaf(X, Y) :- Y := X + 1.
+        "#;
+        let r = run_goal(src, "fan(A, B, C, D)", par(2)).unwrap();
+        assert!(matches!(r.report.status, RunStatus::Completed));
+        assert_eq!(r.bindings["A"].to_string(), "11");
+        assert_eq!(r.bindings["B"].to_string(), "21");
+        assert_eq!(r.bindings["C"].to_string(), "31");
+        assert_eq!(r.bindings["D"].to_string(), "41");
+    }
+
+    #[test]
+    fn one_thread_matches_simulator_exactly() {
+        let src = r#"
+            tree(0, Acc, Out) :- Out := Acc.
+            tree(N, Acc, Out) :- N > 0 |
+                M := N - 1, A := Acc + N, tree(M, A, Out).
+        "#;
+        let sim = run_goal(src, "tree(40, 0, S)", MachineConfig::with_nodes(4)).unwrap();
+        let par1 = run_goal(src, "tree(40, 0, S)", par(1)).unwrap();
+        assert_eq!(sim.bindings["S"], par1.bindings["S"]);
+        assert_eq!(sim.report.output, par1.report.output);
+        assert_eq!(
+            sim.report.metrics.total_reductions,
+            par1.report.metrics.total_reductions
+        );
     }
 }

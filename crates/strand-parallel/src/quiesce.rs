@@ -1,0 +1,295 @@
+//! Quiescence detection for the sharded backend: the single-token counter.
+//!
+//! Every *busy worker* and every *in-flight batch* holds one abstract
+//! token; the [`Tokens`] counter tracks how many tokens exist. All workers
+//! are born busy (counter starts at `threads`), a sender mints a token
+//! **before** the channel send (`add`), a busy worker that absorbs a batch
+//! dissolves its token (`absorb`), a parked worker that receives a batch
+//! adopts its token as the worker's own busy token (no counter change), and
+//! a worker going idle surrenders its busy token (`release`). The counter
+//! reaching zero therefore proves *global quiescence*: no worker is busy
+//! and no batch is unreceived, so no future work can appear.
+//!
+//! The inc-before-send order is the whole proof. If a sender enqueued the
+//! batch first and incremented after, another worker could drain to idle,
+//! release the last visible token, observe zero, and announce quiescence
+//! while the batch sits unreceived in a channel. The model checker below
+//! explores every interleaving of the protocol for small worker counts and
+//! confirms (a) the correct order never announces early and (b) the broken
+//! order does — i.e. the checker has the power to catch the bug.
+//!
+//! # Why an in-repo checker and not loom?
+//!
+//! `loom` is not vendored in this offline workspace, so the permutation
+//! search runs over an *abstract model* of the protocol (worker states ×
+//! queue contents × counter value) rather than over real atomics. That is
+//! sound here because the protocol's correctness depends only on the
+//! *order* of counter updates relative to channel operations — both
+//! `SeqCst`-equivalent in the model — not on weak-memory effects. A
+//! `#[cfg(loom)]` harness covering the same invariant against real
+//! `loom::sync::atomic` types is kept below for when loom is vendored;
+//! build it with `RUSTFLAGS="--cfg loom" cargo test -p strand-parallel`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared token counter: busy workers + in-flight batches.
+pub(crate) struct Tokens(AtomicU64);
+
+impl Tokens {
+    /// Every worker is born busy and holds one token.
+    pub fn new(busy_workers: u64) -> Tokens {
+        Tokens(AtomicU64::new(busy_workers))
+    }
+
+    /// Mint a token for a batch about to be sent. MUST be called before the
+    /// channel send — see the module docs for why the order matters.
+    pub fn add(&self) {
+        self.0.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Undo [`Tokens::add`] after a failed send (the receiver is only gone
+    /// once the run is over, but the counter stays honest regardless).
+    pub fn retract(&self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// A *busy* worker absorbed a batch: the batch's token dissolves into
+    /// the worker's own busy token. A *parked* worker receiving a batch
+    /// calls nothing — the batch's token simply becomes its busy token.
+    pub fn absorb(&self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// A busy worker goes idle, surrendering its token. Returns `true` when
+    /// it surrendered the last token — global quiescence; the caller must
+    /// broadcast stop (including to itself).
+    #[must_use]
+    pub fn release(&self) -> bool {
+        self.0.fetch_sub(1, Ordering::AcqRel) == 1
+    }
+}
+
+/// Exhaustive interleaving exploration of the token protocol on an abstract
+/// state machine (see module docs). Not compiled into the library.
+#[cfg(test)]
+mod model {
+    use std::collections::HashSet;
+
+    #[derive(Clone, PartialEq, Eq, Hash)]
+    enum W {
+        /// Holds a token. `mid_send: Some(to)` means the two-step send to
+        /// `to` is half done (the interleaving point under test).
+        Busy {
+            sends_left: u8,
+            mid_send: Option<u8>,
+        },
+        /// Holds no token; wakes by adopting a received batch's token.
+        Parked,
+        /// Saw the stop broadcast.
+        Done,
+    }
+
+    #[derive(Clone, PartialEq, Eq, Hash)]
+    struct State {
+        tokens: u64,
+        /// Unreceived batches per destination worker.
+        queues: Vec<u8>,
+        workers: Vec<W>,
+    }
+
+    /// Depth-first search over every interleaving. `inc_before_send` picks
+    /// the protocol variant: `true` is the shipped order (counter increment
+    /// then enqueue), `false` the broken order (enqueue then increment).
+    /// Returns the number of distinct states on success, or a description
+    /// of the first reachable state that announces quiescence while a batch
+    /// is unreceived or a peer is still busy.
+    fn check(threads: usize, sends_each: u8, inc_before_send: bool) -> Result<usize, String> {
+        let init = State {
+            tokens: threads as u64,
+            queues: vec![0; threads],
+            workers: vec![
+                W::Busy {
+                    sends_left: sends_each,
+                    mid_send: None
+                };
+                threads
+            ],
+        };
+        let mut seen = HashSet::new();
+        let mut stack = vec![init];
+        while let Some(s) = stack.pop() {
+            if !seen.insert(s.clone()) {
+                continue;
+            }
+            for i in 0..threads {
+                match s.workers[i].clone() {
+                    W::Done => {}
+                    W::Busy {
+                        sends_left,
+                        mid_send: Some(to),
+                    } => {
+                        // Second half of the two-step send.
+                        let mut n = s.clone();
+                        if inc_before_send {
+                            n.queues[to as usize] += 1;
+                        } else {
+                            n.tokens += 1;
+                        }
+                        n.workers[i] = W::Busy {
+                            sends_left,
+                            mid_send: None,
+                        };
+                        stack.push(n);
+                    }
+                    W::Busy {
+                        sends_left,
+                        mid_send: None,
+                    } => {
+                        // (a) Start a send to any peer.
+                        if sends_left > 0 {
+                            for to in (0..threads).filter(|&to| to != i) {
+                                let mut n = s.clone();
+                                if inc_before_send {
+                                    n.tokens += 1;
+                                } else {
+                                    n.queues[to] += 1;
+                                }
+                                n.workers[i] = W::Busy {
+                                    sends_left: sends_left - 1,
+                                    mid_send: Some(to as u8),
+                                };
+                                stack.push(n);
+                            }
+                        }
+                        // (b) Absorb a batch from the own queue while busy.
+                        if s.queues[i] > 0 {
+                            let mut n = s.clone();
+                            n.queues[i] -= 1;
+                            n.tokens -= 1;
+                            stack.push(n);
+                        }
+                        // (c) Go idle: surrender the busy token.
+                        let mut n = s.clone();
+                        n.tokens -= 1;
+                        if n.tokens == 0 {
+                            // Announce quiescence. The invariant under
+                            // test: nothing can still be in flight and no
+                            // peer can still be busy.
+                            let unreceived: u8 = n.queues.iter().sum();
+                            let busy_peer = (0..threads)
+                                .any(|j| j != i && matches!(n.workers[j], W::Busy { .. }));
+                            if unreceived > 0 || busy_peer {
+                                return Err(format!(
+                                    "worker {i} announced quiescence with \
+                                     {unreceived} unreceived batch(es), busy peer: {busy_peer}"
+                                ));
+                            }
+                            for w in &mut n.workers {
+                                *w = W::Done;
+                            }
+                        } else {
+                            n.workers[i] = W::Parked;
+                        }
+                        stack.push(n);
+                    }
+                    W::Parked => {
+                        // Wake on a received batch, adopting its token
+                        // (no counter change). A resumed worker may send
+                        // again — model one follow-up send.
+                        if s.queues[i] > 0 {
+                            let mut n = s.clone();
+                            n.queues[i] -= 1;
+                            n.workers[i] = W::Busy {
+                                sends_left: 1,
+                                mid_send: None,
+                            };
+                            stack.push(n);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(seen.len())
+    }
+
+    #[test]
+    fn inc_before_send_never_announces_early_2_workers() {
+        let states = check(2, 3, true).expect("protocol invariant");
+        assert!(states > 50, "trivial state space: {states}");
+    }
+
+    #[test]
+    fn inc_before_send_never_announces_early_3_workers() {
+        let states = check(3, 2, true).expect("protocol invariant");
+        assert!(states > 500, "trivial state space: {states}");
+    }
+
+    #[test]
+    fn checker_catches_the_send_before_inc_bug() {
+        // The broken order must be caught — otherwise the two passing
+        // tests above prove nothing about the checker's power.
+        let err = check(2, 2, false).expect_err("broken variant must announce early");
+        assert!(err.contains("announced quiescence"), "{err}");
+    }
+
+    #[test]
+    fn busy_absorb_dissolves_exactly_one_token() {
+        let t = super::Tokens::new(2);
+        t.add(); // batch minted before send
+        t.absorb(); // busy receiver dissolves it
+        assert!(!t.release()); // first worker idles: one token left
+        assert!(t.release()); // last worker idles: quiescence
+    }
+}
+
+/// The same invariant against real atomics under loom's model checker.
+/// Compiled only with `RUSTFLAGS="--cfg loom"`; requires vendoring the
+/// `loom` crate (not present in this offline workspace) and listing it as a
+/// dev-dependency of `strand-parallel`.
+#[cfg(loom)]
+mod loom_check {
+    use loom::sync::atomic::{AtomicU64, Ordering};
+    use loom::sync::Arc;
+    use loom::thread;
+
+    #[test]
+    fn tokens_never_announce_with_batch_in_flight() {
+        loom::model(|| {
+            // Two busy workers; worker 0 sends one batch to worker 1 and
+            // idles, worker 1 absorbs whatever arrived and idles.
+            let tokens = Arc::new(AtomicU64::new(2));
+            let queued = Arc::new(AtomicU64::new(0));
+
+            let t0 = {
+                let tokens = Arc::clone(&tokens);
+                let queued = Arc::clone(&queued);
+                thread::spawn(move || {
+                    tokens.fetch_add(1, Ordering::AcqRel); // inc BEFORE send
+                    queued.fetch_add(1, Ordering::AcqRel); // the send
+                    let announce = tokens.fetch_sub(1, Ordering::AcqRel) == 1;
+                    if announce {
+                        assert_eq!(queued.load(Ordering::Acquire), 0);
+                    }
+                })
+            };
+            let t1 = {
+                let tokens = Arc::clone(&tokens);
+                let queued = Arc::clone(&queued);
+                thread::spawn(move || {
+                    if queued
+                        .compare_exchange(1, 0, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        tokens.fetch_sub(1, Ordering::AcqRel); // busy absorb
+                    }
+                    let announce = tokens.fetch_sub(1, Ordering::AcqRel) == 1;
+                    if announce {
+                        assert_eq!(queued.load(Ordering::Acquire), 0);
+                    }
+                })
+            };
+            t0.join().unwrap();
+            t1.join().unwrap();
+        });
+    }
+}

@@ -207,6 +207,25 @@ pub mod channel {
     #[derive(Debug, PartialEq, Eq)]
     pub struct RecvError;
 
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty but senders remain.
+        Empty,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
+    impl TryRecvError {
+        pub fn is_empty(&self) -> bool {
+            matches!(self, TryRecvError::Empty)
+        }
+
+        pub fn is_disconnected(&self) -> bool {
+            matches!(self, TryRecvError::Disconnected)
+        }
+    }
+
     /// Create a bounded MPMC channel with the given capacity.
     pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
         let chan = Arc::new(Chan {
@@ -299,6 +318,21 @@ pub mod channel {
                     .recv_cv
                     .wait(st)
                     .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        /// Non-blocking receive: pop an item if one is ready, otherwise
+        /// report `Empty` (senders remain) or `Disconnected` (channel dead).
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = self.chan.state.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(v) = st.queue.pop_front() {
+                self.chan.send_cv.notify_one();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
             }
         }
 
