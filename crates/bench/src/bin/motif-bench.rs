@@ -47,7 +47,27 @@ fn main() {
         // B-series: wall-clock speedup of the multi-threaded backend.
         // `--quick` is the CI smoke configuration (small workloads, 2
         // threads); the full run sweeps 1/2/4/8 threads.
+        // `--require-cores` refuses to record on a single-core host —
+        // parallel speedups measured there are meaningless, so the CI
+        // recording job uses it to fail loudly instead of committing noise.
         let quick = args.iter().any(|a| a == "--quick");
+        let require_cores = args.iter().any(|a| a == "--require-cores");
+        let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+        if host <= 1 {
+            if require_cores {
+                eprintln!(
+                    "error: refusing to record the B-series on a single-core host \
+                     (--require-cores); parallel speedups here measure scheduling \
+                     overhead, not parallelism"
+                );
+                std::process::exit(3);
+            }
+            eprintln!(
+                "WARNING: single-core host — B-series speedups below are NOT \
+                 parallel speedups; the snapshot is annotated host_parallelism: 1 \
+                 and should not be committed as a recording"
+            );
+        }
         let path = args
             .get(1)
             .filter(|a| !a.starts_with("--"))
@@ -65,6 +85,33 @@ fn main() {
                 p.backend,
                 p.threads,
                 p.wall_ns as f64 / 1e6,
+                p.speedup
+            );
+        }
+        return;
+    }
+    if args.first().map(String::as_str) == Some("compiled-json") {
+        // Compiled-tier series: interpreted vs compiled rule execution on
+        // the same scheduler. `--quick` caps the workloads for CI smoke.
+        let quick = args.iter().any(|a| a == "--quick");
+        let path = args
+            .get(1)
+            .filter(|a| !a.starts_with("--"))
+            .map(String::as_str)
+            .unwrap_or("out/BENCH_compiled.json");
+        ensure_parent(path);
+        let points = bench::b2_compiled(quick);
+        let json = bench::render_compiled_json(&points);
+        std::fs::write(path, &json).expect("write compiled bench json");
+        print!("{json}");
+        for p in &points {
+            eprintln!(
+                "{:<16} {:<12} {:<10} {:>9.2} ms, {:>8} red ({:>5.2}x)",
+                p.workload,
+                p.exec,
+                p.backend,
+                p.wall_ns as f64 / 1e6,
+                p.reductions,
                 p.speedup
             );
         }

@@ -1,0 +1,399 @@
+//! The `motif-bench compiled-json` mode: compiled-tier speedup tracking.
+//!
+//! The B-series compares *backends* (simulator vs worker threads); this
+//! series compares *rule-execution tiers* inside one backend. Each workload
+//! runs twice in the same binary — `--exec interpreted` (the reference
+//! interpreter, per-reduction `Pat` walking) and `--exec compiled` (the
+//! direct-threaded tier of `strand-machine::exec`) — and `speedup` is
+//! interpreted wall-clock over compiled wall-clock.
+//!
+//! Workloads:
+//!
+//! * `tree-reduce` — the tree-reduce skeleton over a 256-way opcode
+//!   combine table on the deterministic simulator: the ≥5× target. The
+//!   combine step dispatches on an integer opcode through a
+//!   guard-discriminated decision table (`combine(Op,…) :- Op == k | …`),
+//!   which is the rule shape the compiled tier's guard-derived
+//!   first-argument index exists for: the interpreter must attempt half
+//!   the table per node (a head match plus a guard instantiation and
+//!   evaluation per clause), the compiled tier skips non-matching clauses
+//!   on a pre-computed key compare. Deliberately rule-dispatch-bound —
+//!   rule dispatch is the tier under test; `--stats` on any run shows
+//!   where the time goes.
+//! * `eval-chain` — a deep `step/3` recursion over a ten-clause
+//!   constant-headed table interleaved 1:1 with `:=` builtins: a
+//!   mixed-workload row, so the series also records what compiled buys
+//!   when shared builtin costs dilute dispatch.
+//! * `seqalign` — progressive RNA alignment on the parallel backend. The
+//!   native aligner dominates, so the claim here is only "the compiled
+//!   tier never loses" (≥1×).
+//!
+//! `render_compiled_json` records the rows (`out/BENCH_compiled.json` via
+//! `motif-bench compiled-json`); the committed `BENCH_compiled.json`
+//! snapshot at the repo root is a full recording.
+
+use motifs::tree_reduce_1;
+use std::time::Instant;
+use strand_machine::{run_parsed_goal_with_lib, ExecMode, ForeignLib, MachineConfig};
+use strand_parse::{parse_program, Program};
+
+/// One measured row: a workload on one execution tier.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CompiledPoint {
+    pub workload: String,
+    /// `"interpreted"` or `"compiled"`.
+    pub exec: String,
+    /// `"simulator"` or `"parallel"`.
+    pub backend: String,
+    pub wall_ns: u64,
+    pub reductions: u64,
+    /// Interpreted wall-clock over this row's wall-clock (1.0 for the
+    /// interpreted row itself).
+    pub speedup: f64,
+}
+
+/// Opcode table width of the tree-reduce row. Wide enough that rule
+/// dispatch dominates the run; `--stats` confirms the interpreter attempts
+/// ~`OPS/2` clauses per combine while the index skips them.
+const TREE_OPS: usize = 256;
+
+/// A random binary tree whose internal nodes carry integer opcodes — the
+/// same shape as `motifs::random_tree_src`, with the atom operators
+/// replaced by indices into the combine table.
+fn opcode_tree_src(leaves: u32, seed: u64) -> String {
+    let mut rng = strand_core::SplitMix64::new(seed);
+    fn go(leaves: u32, rng: &mut strand_core::SplitMix64) -> String {
+        if leaves <= 1 {
+            format!("leaf({})", 1 + rng.next_below(9))
+        } else {
+            let left = 1 + rng.next_below((leaves - 1) as u64) as u32;
+            let op = rng.next_below(TREE_OPS as u64);
+            format!("tree({op}, {}, {})", go(left, rng), go(leaves - left, rng))
+        }
+    }
+    go(leaves, &mut rng)
+}
+
+/// The tree-reduce skeleton combining through a guard-dispatched opcode
+/// table: per internal node, one `reduce` dispatch, one `combine` dispatch
+/// across the table, and one `:=`. Rule dispatch is the dominant cost by
+/// construction — it is the tier under test.
+fn tree_workload() -> (Program, String) {
+    let mut src = String::from(
+        "reduce(leaf(X), V) :- V := X.\n\
+         reduce(tree(Op, L, R), V) :- reduce(L, VL), reduce(R, VR), combine(Op, VL, VR, V).\n",
+    );
+    for k in 0..TREE_OPS {
+        src.push_str(&format!(
+            "combine(Op, L, R, V) :- Op == {k} | V := L + R + {k}.\n"
+        ));
+    }
+    let program = parse_program(&src).expect("opcode tree program parses");
+    let tree = opcode_tree_src(512, 7);
+    (program, format!("reduce({tree}, Value)"))
+}
+
+/// A raw recursion over a ten-clause dispatch table: each step picks one of
+/// ten constant-headed clauses, so first-argument indexing skips ~90% of
+/// head matches and the interpreter pays for all of them.
+fn eval_chain_workload() -> (Program, String) {
+    let mut src = String::from(
+        "chain(0, Acc, V) :- V := Acc.\n\
+         chain(N, Acc, V) :- N > 0 | K := N mod 10, step(K, Acc, A1), N1 := N - 1, chain(N1, A1, V).\n",
+    );
+    for k in 0..10 {
+        src.push_str(&format!("step({k}, A, B) :- B := A + {k}.\n"));
+    }
+    let program = parse_program(&src).expect("chain program parses");
+    (program, "chain(20000, 0, V)".to_string())
+}
+
+/// Progressive RNA alignment on Tree-Reduce-1 with the native aligner as a
+/// pure foreign procedure (same shape as the B-series `seqalign` row).
+fn seqalign_workload() -> (Program, String, ForeignLib) {
+    use seqalign::{align_lib, generate_family, guide_tree, guide_tree_src, FamilyParams};
+    let params = seqalign::ScoreParams::default();
+    let fam = generate_family(&FamilyParams {
+        leaves: 12,
+        ancestral_len: 80,
+        seed: 21,
+        ..Default::default()
+    });
+    let guide = guide_tree(&fam.sequences, &params);
+    let tree_src = guide_tree_src(&guide, &fam.sequences);
+    let program = tree_reduce_1()
+        .apply_src(seqalign::ALIGN_EVAL)
+        .expect("TR1 applies to align eval");
+    (
+        program,
+        format!("create(8, reduce({tree_src}, Value))"),
+        align_lib(params, 8),
+    )
+}
+
+/// Best-of-batches wall-clock for one (workload, tier) cell — the standard
+/// minimum-time estimator: noise only ever slows a batch down.
+fn measure(
+    program: &Program,
+    goal: &str,
+    cfg: &MachineConfig,
+    lib: &ForeignLib,
+    quick: bool,
+) -> (u64, u64) {
+    let run = || {
+        let t0 = Instant::now();
+        let r = run_parsed_goal_with_lib(program, goal, cfg.clone(), lib).expect("workload runs");
+        (t0.elapsed().as_nanos() as u64, r)
+    };
+    // Warmup + calibration.
+    let (once, first) = run();
+    let reductions = first.report.metrics.total_reductions;
+    let (per_batch, batches) = if quick {
+        (1, 1)
+    } else {
+        ((100_000_000 / once.max(1)).clamp(1, 30), 5)
+    };
+    let mut best = u64::MAX;
+    for _ in 0..batches {
+        let mut elapsed = 0u64;
+        for _ in 0..per_batch {
+            let (ns, r) = run();
+            elapsed += ns;
+            assert_eq!(
+                r.report.metrics.total_reductions, reductions,
+                "workload must be deterministic"
+            );
+        }
+        best = best.min(elapsed / per_batch);
+    }
+    (best, reductions)
+}
+
+/// Run the compiled-tier series. `quick` shrinks the sampling for CI smoke;
+/// rows and workloads are identical either way.
+pub fn b2_compiled(quick: bool) -> Vec<CompiledPoint> {
+    strand_parallel::install();
+    let empty = ForeignLib::new();
+    let (tree_prog, tree_goal) = tree_workload();
+    let (chain_prog, chain_goal) = eval_chain_workload();
+    let (align_prog, align_goal, align) = seqalign_workload();
+    let sim = MachineConfig::with_nodes(1).seed(7);
+    let par = MachineConfig::with_nodes(8).seed(7).parallel(2);
+    let cells: Vec<(&str, &Program, &str, MachineConfig, &ForeignLib, &str)> = vec![
+        (
+            "tree-reduce",
+            &tree_prog,
+            &tree_goal,
+            sim.clone(),
+            &empty,
+            "simulator",
+        ),
+        (
+            "eval-chain",
+            &chain_prog,
+            &chain_goal,
+            sim,
+            &empty,
+            "simulator",
+        ),
+        (
+            "seqalign",
+            &align_prog,
+            &align_goal,
+            par,
+            &align,
+            "parallel",
+        ),
+    ];
+
+    let mut points = Vec::new();
+    for (name, program, goal, cfg, lib, backend) in &cells {
+        // Quick mode (CI smoke): one warmup + one timed run per cell is
+        // enough to prove the rows exist and both tiers complete; the
+        // committed snapshot is a full local recording.
+        let (interp_ns, interp_red) = measure(
+            program,
+            goal,
+            &cfg.clone().exec(ExecMode::Interpreted),
+            lib,
+            quick,
+        );
+        let (comp_ns, comp_red) = measure(
+            program,
+            goal,
+            &cfg.clone().exec(ExecMode::Compiled),
+            lib,
+            quick,
+        );
+        assert_eq!(
+            interp_red, comp_red,
+            "{name}: tiers must perform identical reductions"
+        );
+        points.push(CompiledPoint {
+            workload: name.to_string(),
+            exec: "interpreted".to_string(),
+            backend: backend.to_string(),
+            wall_ns: interp_ns,
+            reductions: interp_red,
+            speedup: 1.0,
+        });
+        points.push(CompiledPoint {
+            workload: name.to_string(),
+            exec: "compiled".to_string(),
+            backend: backend.to_string(),
+            wall_ns: comp_ns,
+            reductions: comp_red,
+            speedup: interp_ns as f64 / comp_ns.max(1) as f64,
+        });
+    }
+    points
+}
+
+/// Serialize compiled-tier points as JSON (no external dependencies).
+pub fn render_compiled_json(points: &[CompiledPoint]) -> String {
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"motif-bench compiled-json v1\",\n");
+    out.push_str(&format!("  \"host_parallelism\": {host},\n"));
+    out.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let comma = if i + 1 == points.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"exec\": \"{}\", \"backend\": \"{}\", \
+             \"wall_ns\": {}, \"reductions\": {}, \"speedup\": {:.4}}}{comma}\n",
+            p.workload, p.exec, p.backend, p.wall_ns, p.reductions, p.speedup
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Strict parser for [`render_compiled_json`] output — same schema-drift
+/// tripwire as the B-series parser.
+pub fn parse_compiled_json(json: &str) -> Result<Vec<CompiledPoint>, String> {
+    fn raw_field<'a>(s: &'a str, key: &str) -> Result<&'a str, String> {
+        let pat = format!("\"{key}\": ");
+        let start = s
+            .find(&pat)
+            .ok_or_else(|| format!("missing field {key:?}"))?
+            + pat.len();
+        let rest = &s[start..];
+        let end = rest
+            .find([',', '}', '\n'])
+            .ok_or_else(|| format!("unterminated field {key:?}"))?;
+        Ok(rest[..end].trim())
+    }
+    fn string_field(s: &str, key: &str) -> Result<String, String> {
+        let raw = raw_field(s, key)?;
+        raw.strip_prefix('"')
+            .and_then(|r| r.strip_suffix('"'))
+            .map(str::to_string)
+            .ok_or_else(|| format!("field {key:?} is not a string: {raw}"))
+    }
+    fn num_field<T: std::str::FromStr>(s: &str, key: &str) -> Result<T, String> {
+        raw_field(s, key)?
+            .parse()
+            .map_err(|_| format!("field {key:?} is not a number"))
+    }
+
+    if !json.contains("\"schema\": \"motif-bench compiled-json v1\"") {
+        return Err("missing or unknown schema".to_string());
+    }
+    let mut points = Vec::new();
+    for line in json.lines().map(str::trim) {
+        if !line.starts_with("{\"workload\"") {
+            continue;
+        }
+        points.push(CompiledPoint {
+            workload: string_field(line, "workload")?,
+            exec: string_field(line, "exec")?,
+            backend: string_field(line, "backend")?,
+            wall_ns: num_field(line, "wall_ns")?,
+            reductions: num_field(line, "reductions")?,
+            speedup: num_field(line, "speedup")?,
+        });
+    }
+    if points.is_empty() {
+        return Err("no points parsed".to_string());
+    }
+    Ok(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_schema_round_trips() {
+        let points = vec![
+            CompiledPoint {
+                workload: "tree-reduce".to_string(),
+                exec: "interpreted".to_string(),
+                backend: "simulator".to_string(),
+                wall_ns: 123_456_789,
+                reductions: 9001,
+                speedup: 1.0,
+            },
+            CompiledPoint {
+                workload: "tree-reduce".to_string(),
+                exec: "compiled".to_string(),
+                backend: "simulator".to_string(),
+                wall_ns: 42,
+                reductions: 9001,
+                speedup: 5.25,
+            },
+        ];
+        let json = render_compiled_json(&points);
+        let parsed = parse_compiled_json(&json).expect("round-trip parses");
+        assert_eq!(parsed, points);
+        assert_eq!(render_compiled_json(&parsed), json);
+    }
+
+    #[test]
+    fn parser_rejects_schema_drift() {
+        let points = vec![CompiledPoint {
+            workload: "x".to_string(),
+            exec: "compiled".to_string(),
+            backend: "simulator".to_string(),
+            wall_ns: 1,
+            reductions: 1,
+            speedup: 1.0,
+        }];
+        let json = render_compiled_json(&points);
+        assert!(parse_compiled_json(&json.replace("\"wall_ns\"", "\"ns\"")).is_err());
+        assert!(parse_compiled_json("{}").is_err());
+    }
+
+    #[test]
+    fn committed_snapshot_parses_and_meets_targets() {
+        // The repo-root BENCH_compiled.json is a recorded artifact; if it
+        // exists it must parse and must still show the ISSUE's targets:
+        // tree-reduce ≥5× on the simulator, seqalign ≥1× under the
+        // parallel backend (small tolerance for recording noise).
+        let Ok(json) = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_compiled.json"
+        )) else {
+            return;
+        };
+        let points = parse_compiled_json(&json).expect("committed snapshot parses");
+        let speedup = |w: &str| {
+            points
+                .iter()
+                .find(|p| p.workload == w && p.exec == "compiled")
+                .unwrap_or_else(|| panic!("snapshot missing compiled row for {w}"))
+                .speedup
+        };
+        assert!(
+            speedup("tree-reduce") >= 5.0,
+            "tree-reduce compiled speedup regressed below 5x: {}",
+            speedup("tree-reduce")
+        );
+        assert!(
+            speedup("seqalign") >= 0.95,
+            "seqalign compiled speedup fell below 1x: {}",
+            speedup("seqalign")
+        );
+    }
+}

@@ -11,12 +11,14 @@
 //! crossings, live bytes); on a single-core CI box wall-clock speedup is
 //! meaningless, and EXPERIMENTS.md says so.
 
+pub mod compiled_bench;
 pub mod counting_alloc;
 pub mod experiments;
 pub mod machine_bench;
 pub mod parallel_bench;
 pub mod table;
 
+pub use compiled_bench::{b2_compiled, parse_compiled_json, render_compiled_json, CompiledPoint};
 pub use experiments::*;
 pub use parallel_bench::{b1_parallel, parse_parallel_json, render_parallel_json, ParallelPoint};
 pub use table::Table;

@@ -229,6 +229,15 @@ pub fn render_parallel_json(points: &[ParallelPoint]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!("  \"host_parallelism\": {host},\n"));
+    if host <= 1 {
+        // Loud in-band annotation: a snapshot recorded on one core measures
+        // scheduling overhead, not parallelism. Tooling that plots speedups
+        // should treat such files as smoke output only.
+        out.push_str(
+            "  \"host_warning\": \"recorded on a single-core host; speedup \
+             columns are not parallel speedups\",\n",
+        );
+    }
     out.push_str("  \"points\": [\n");
     for (i, p) in points.iter().enumerate() {
         let comma = if i + 1 == points.len() { "" } else { "," };

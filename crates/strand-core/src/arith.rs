@@ -70,85 +70,112 @@ pub enum Evaled {
 /// assert_eq!(eval_arith(&e, &store).unwrap(), Evaled::Num(Num::Int(11)));
 /// ```
 pub fn eval_arith<S: StoreOps>(expr: &Term, store: &S) -> StrandResult<Evaled> {
+    // Fast paths that skip the `deref` clone: numbers and tuples are never
+    // variable chains, so only a `Var` head needs the store.
+    match expr {
+        Term::Int(i) => return Ok(Evaled::Num(Num::Int(*i))),
+        Term::Float(x) => return Ok(Evaled::Num(Num::Float(*x))),
+        Term::Tuple(op, args) => return eval_arith_tuple(op.as_str(), args, expr, store),
+        _ => {}
+    }
     let t = store.deref(expr);
     match &t {
         Term::Int(i) => Ok(Evaled::Num(Num::Int(*i))),
         Term::Float(x) => Ok(Evaled::Num(Num::Float(*x))),
         Term::Var(v) => Ok(Evaled::Suspend(vec![*v])),
-        Term::Tuple(op, args) => {
-            // Evaluate sub-expressions first, accumulating suspension sets so
-            // a single suspension covers every missing input.
-            let mut nums = Vec::with_capacity(args.len());
-            let mut pending = Vec::new();
-            for a in args.iter() {
-                match eval_arith(a, store)? {
-                    Evaled::Num(n) => nums.push(n),
-                    Evaled::Suspend(vs) => {
-                        for v in vs {
-                            if !pending.contains(&v) {
-                                pending.push(v);
-                            }
-                        }
-                    }
-                }
-            }
-            if !pending.is_empty() {
-                return Ok(Evaled::Suspend(pending));
-            }
-            let bad = || StrandError::ArithType {
-                expr: store.resolve(expr),
-            };
-            match (op.as_str(), nums.as_slice()) {
-                ("+", [a, b]) => Ok(Evaled::Num(a.binop(
-                    *b,
-                    |x, y| x.wrapping_add(y),
-                    |x, y| x + y,
-                ))),
-                ("-", [a, b]) => Ok(Evaled::Num(a.binop(
-                    *b,
-                    |x, y| x.wrapping_sub(y),
-                    |x, y| x - y,
-                ))),
-                ("*", [a, b]) => Ok(Evaled::Num(a.binop(
-                    *b,
-                    |x, y| x.wrapping_mul(y),
-                    |x, y| x * y,
-                ))),
-                ("-", [a]) => Ok(Evaled::Num(match a {
-                    Num::Int(i) => Num::Int(-i),
-                    Num::Float(x) => Num::Float(-x),
-                })),
-                ("abs", [a]) => Ok(Evaled::Num(match a {
-                    Num::Int(i) => Num::Int(i.abs()),
-                    Num::Float(x) => Num::Float(x.abs()),
-                })),
-                ("/", [a, b]) => match (a, b) {
-                    (_, Num::Int(0)) => Err(StrandError::DivideByZero {
-                        expr: store.resolve(expr),
-                    }),
-                    (Num::Int(x), Num::Int(y)) => Ok(Evaled::Num(Num::Int(x / y))),
-                    (x, y) => Ok(Evaled::Num(Num::Float(x.as_f64() / y.as_f64()))),
-                },
-                ("mod", [a, b]) => match (a, b) {
-                    (Num::Int(x), Num::Int(y)) => {
-                        if *y == 0 {
-                            Err(StrandError::DivideByZero {
-                                expr: store.resolve(expr),
-                            })
-                        } else {
-                            Ok(Evaled::Num(Num::Int(x.rem_euclid(*y))))
-                        }
-                    }
-                    _ => Err(bad()),
-                },
-                ("min", [a, b]) => Ok(Evaled::Num(if a.as_f64() <= b.as_f64() { *a } else { *b })),
-                ("max", [a, b]) => Ok(Evaled::Num(if a.as_f64() >= b.as_f64() { *a } else { *b })),
-                _ => Err(bad()),
-            }
-        }
+        Term::Tuple(op, args) => eval_arith_tuple(op.as_str(), args, expr, store),
         _ => Err(StrandError::ArithType {
             expr: store.resolve(expr),
         }),
+    }
+}
+
+fn eval_arith_tuple<S: StoreOps>(
+    op: &str,
+    args: &[Term],
+    expr: &Term,
+    store: &S,
+) -> StrandResult<Evaled> {
+    // Evaluate sub-expressions first, accumulating suspension sets so a
+    // single suspension covers every missing input. All operators take at
+    // most two operands, so an inline buffer avoids a heap allocation per
+    // expression node; overlong argument lists fall through to the type
+    // error below exactly as an unknown operator would.
+    let mut nums = [Num::Int(0); 2];
+    let mut count = 0usize;
+    let mut pending: Vec<VarId> = Vec::new();
+    for a in args.iter() {
+        match eval_arith(a, store)? {
+            Evaled::Num(n) => {
+                if count < 2 {
+                    nums[count] = n;
+                }
+                count += 1;
+            }
+            Evaled::Suspend(vs) => {
+                for v in vs {
+                    if !pending.contains(&v) {
+                        pending.push(v);
+                    }
+                }
+            }
+        }
+    }
+    if !pending.is_empty() {
+        return Ok(Evaled::Suspend(pending));
+    }
+    let bad = || StrandError::ArithType {
+        expr: store.resolve(expr),
+    };
+    let operands: &[Num] = if count <= 2 { &nums[..count] } else { &[] };
+    {
+        match (op, operands) {
+            ("+", [a, b]) => Ok(Evaled::Num(a.binop(
+                *b,
+                |x, y| x.wrapping_add(y),
+                |x, y| x + y,
+            ))),
+            ("-", [a, b]) => Ok(Evaled::Num(a.binop(
+                *b,
+                |x, y| x.wrapping_sub(y),
+                |x, y| x - y,
+            ))),
+            ("*", [a, b]) => Ok(Evaled::Num(a.binop(
+                *b,
+                |x, y| x.wrapping_mul(y),
+                |x, y| x * y,
+            ))),
+            ("-", [a]) => Ok(Evaled::Num(match a {
+                Num::Int(i) => Num::Int(-i),
+                Num::Float(x) => Num::Float(-x),
+            })),
+            ("abs", [a]) => Ok(Evaled::Num(match a {
+                Num::Int(i) => Num::Int(i.abs()),
+                Num::Float(x) => Num::Float(x.abs()),
+            })),
+            ("/", [a, b]) => match (a, b) {
+                (_, Num::Int(0)) => Err(StrandError::DivideByZero {
+                    expr: store.resolve(expr),
+                }),
+                (Num::Int(x), Num::Int(y)) => Ok(Evaled::Num(Num::Int(x / y))),
+                (x, y) => Ok(Evaled::Num(Num::Float(x.as_f64() / y.as_f64()))),
+            },
+            ("mod", [a, b]) => match (a, b) {
+                (Num::Int(x), Num::Int(y)) => {
+                    if *y == 0 {
+                        Err(StrandError::DivideByZero {
+                            expr: store.resolve(expr),
+                        })
+                    } else {
+                        Ok(Evaled::Num(Num::Int(x.rem_euclid(*y))))
+                    }
+                }
+                _ => Err(bad()),
+            },
+            ("min", [a, b]) => Ok(Evaled::Num(if a.as_f64() <= b.as_f64() { *a } else { *b })),
+            ("max", [a, b]) => Ok(Evaled::Num(if a.as_f64() >= b.as_f64() { *a } else { *b })),
+            _ => Err(bad()),
+        }
     }
 }
 

@@ -1,0 +1,113 @@
+//! A minimal Fx-style hasher for hot dispatch maps.
+//!
+//! Procedure lookup happens once per reduction: the scheduler derefs a goal,
+//! reads its functor, and probes a `name → proc` table. With the standard
+//! `HashMap` that probe pays SipHash over the functor string every time —
+//! measurable against a dispatch path that is otherwise a few dozen
+//! nanoseconds. This multiply-rotate hash (the scheme rustc uses internally)
+//! is not DoS-resistant, which is fine: the keys are procedure names from the
+//! program text, not attacker-controlled input.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-rotate hasher over machine words.
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, mut bytes: &[u8]) {
+        while bytes.len() >= 8 {
+            let word = u64::from_le_bytes(bytes[..8].try_into().unwrap());
+            self.add(word);
+            bytes = &bytes[8..];
+        }
+        if bytes.len() >= 4 {
+            let word = u32::from_le_bytes(bytes[..4].try_into().unwrap());
+            self.add(word as u64);
+            bytes = &bytes[4..];
+        }
+        for &b in bytes {
+            self.add(b as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// Build-hasher for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// `HashMap` keyed with the fast hasher.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// `HashSet` keyed with the fast hasher.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        let hash = |s: &str| {
+            let mut h = FxHasher::default();
+            h.write(s.as_bytes());
+            h.finish()
+        };
+        assert_ne!(hash("reduce"), hash("reduc"));
+        assert_ne!(hash("serve"), hash("server"));
+        assert_ne!(hash("eval"), hash("lave"));
+    }
+
+    #[test]
+    fn map_round_trips_string_keys() {
+        let mut m: FxHashMap<String, u32> = FxHashMap::default();
+        for i in 0..100u32 {
+            m.insert(format!("proc_{i}"), i);
+        }
+        for i in 0..100u32 {
+            assert_eq!(m.get(format!("proc_{i}").as_str()), Some(&i));
+        }
+    }
+}

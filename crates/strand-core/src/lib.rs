@@ -31,6 +31,7 @@
 pub mod arith;
 pub mod atom;
 pub mod error;
+pub mod fxhash;
 pub mod matching;
 pub mod pat;
 pub mod rng;
@@ -41,6 +42,7 @@ pub mod term;
 pub use arith::{eval_arith, Num};
 pub use atom::Atom;
 pub use error::{StrandError, StrandResult};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use matching::{eval_guard, match_args, GuardOutcome, MatchOutcome};
 pub use pat::{Frame, Pat};
 pub use rng::SplitMix64;

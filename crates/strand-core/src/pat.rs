@@ -147,6 +147,14 @@ impl Frame {
         }
     }
 
+    /// Clear and resize to `n` unset slots, keeping the allocation. Lets a
+    /// machine reuse one scratch frame across rule tries instead of
+    /// allocating a fresh `Vec` per attempt.
+    pub fn reset(&mut self, n: u16) {
+        self.slots.clear();
+        self.slots.resize(n as usize, None);
+    }
+
     /// Read slot `i`.
     pub fn get(&self, i: u16) -> Option<&Term> {
         self.slots.get(i as usize).and_then(|s| s.as_ref())

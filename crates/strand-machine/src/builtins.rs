@@ -40,35 +40,34 @@ pub(crate) enum BuiltinOutcome {
     Error(StrandError),
 }
 
-/// Is `name/arity` a machine builtin?
+/// Is `name/arity` a machine builtin? Checked once per reduction, so the
+/// arity (an integer compare) discriminates before any string compare runs.
 pub(crate) fn is_builtin(name: &str, arity: usize) -> bool {
-    matches!(
-        (name, arity),
-        (":=", 2)
-            | ("=", 2)
-            | ("true", 0)
-            | ("length", 2)
-            | ("rand_num", 2)
-            | ("distribute", 3)
-            | ("distribute", 4)
-            | ("make_tuple", 2)
-            | ("put_arg", 3)
-            | ("open_port", 2)
-            | ("send_port", 2)
-            | ("merge", 2)
-            | ("work", 1)
-            | ("print", 1)
-            | ("current_node", 1)
-            | ("arg", 3)
-            | ("gauge", 2)
-            | ("after_unless", 3)
-            | ("ack", 1)
-            | ("unique_id", 1)
-            | ("$spawn_at", 2)
-            | ("$forward", 2)
-            | ("$timer", 2)
-            | ("$deliver", 2)
-    )
+    match arity {
+        0 => name == "true",
+        1 => matches!(
+            name,
+            "work" | "print" | "current_node" | "ack" | "unique_id"
+        ),
+        2 => matches!(
+            name,
+            ":=" | "="
+                | "length"
+                | "rand_num"
+                | "make_tuple"
+                | "open_port"
+                | "send_port"
+                | "merge"
+                | "gauge"
+                | "$spawn_at"
+                | "$forward"
+                | "$timer"
+                | "$deliver"
+        ),
+        3 => matches!(name, "distribute" | "put_arg" | "arg" | "after_unless"),
+        4 => name == "distribute",
+        _ => false,
+    }
 }
 
 fn bad(builtin: &str, detail: impl Into<String>) -> BuiltinOutcome {
@@ -82,8 +81,10 @@ impl Machine {
     /// Execute a builtin goal. Returns `Err` only for machine-fatal
     /// conditions; program-level problems go through [`BuiltinOutcome`].
     pub(crate) fn exec_builtin(&mut self, name: &str, goal: &Term) -> StrandResult<BuiltinOutcome> {
-        let args: Vec<Term> = goal.goal_args().to_vec();
-        Ok(match (name, args.as_slice()) {
+        // Borrow the argument slice directly — builtins run once per goal
+        // and must not pay a Vec clone on every reduction.
+        let args: &[Term] = goal.goal_args();
+        Ok(match (name, args) {
             ("true", []) => BuiltinOutcome::Done,
 
             (":=", [lhs, rhs]) => self.assign(lhs, rhs, true)?,

@@ -128,6 +128,23 @@ pub enum Backend {
     Parallel { threads: u32 },
 }
 
+/// Which rule-execution tier the machine runs (see [`crate::exec`]).
+///
+/// `Compiled` (the default) lowers every procedure to direct-threaded op
+/// sequences at machine construction: pre-resolved slot indices,
+/// first-argument clause indexing and fused match-then-instantiate.
+/// `Interpreted` walks the `Pat` trees per reduction and is kept as the
+/// semantic reference — the two tiers are bit-identical by contract, and
+/// the conformance suite diffs them.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Direct-threaded lowered rules (fast path).
+    #[default]
+    Compiled,
+    /// Per-reduction pattern interpretation (reference semantics).
+    Interpreted,
+}
+
 /// Configuration of the simulated multicomputer.
 ///
 /// The defaults model a modest message-passing machine of the paper's era in
@@ -162,6 +179,9 @@ pub struct MachineConfig {
     pub faults: FaultPlan,
     /// Execution engine (default: the deterministic simulator).
     pub backend: Backend,
+    /// Rule-execution tier (default: compiled; `Interpreted` is the
+    /// reference interpreter).
+    pub exec: ExecMode,
 }
 
 impl Default for MachineConfig {
@@ -177,6 +197,7 @@ impl Default for MachineConfig {
             record_trace: false,
             faults: FaultPlan::default(),
             backend: Backend::default(),
+            exec: ExecMode::default(),
         }
     }
 }
@@ -226,6 +247,19 @@ impl MachineConfig {
         self.backend = backend;
         self
     }
+
+    /// Builder-style execution-tier override.
+    pub fn exec(mut self, exec: ExecMode) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// Builder: run on the reference interpreter instead of the compiled
+    /// tier.
+    pub fn interpreted(mut self) -> Self {
+        self.exec = ExecMode::Interpreted;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -250,6 +284,15 @@ mod tests {
         assert_eq!(c.seed, 7);
         assert_eq!(c.latency, 3);
         assert!(c.tracked.contains("eval"));
+    }
+
+    #[test]
+    fn exec_tier_defaults_to_compiled() {
+        assert_eq!(MachineConfig::default().exec, ExecMode::Compiled);
+        assert_eq!(
+            MachineConfig::default().interpreted().exec,
+            ExecMode::Interpreted
+        );
     }
 
     #[test]

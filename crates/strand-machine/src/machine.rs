@@ -15,16 +15,17 @@
 //! goal and config are identical, metric for metric.
 
 use crate::builtins::{is_builtin, BuiltinOutcome};
-use crate::config::MachineConfig;
+use crate::config::{ExecMode, MachineConfig};
+use crate::exec::{self, ExecProgram, Scratch};
 use crate::metrics::Metrics;
 use crate::trace::{goal_text, TraceEvent};
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::{Arc, Mutex};
 use strand_core::{
-    match_args, GuardOutcome, MatchOutcome, NodeId, SharedStore, SharedStoreView, SplitMix64,
-    Store, StoreOps, StrandError, StrandResult, Term, Time, VarId, Waiter,
+    match_args, Atom, FxHashMap, GuardOutcome, MatchOutcome, NodeId, SharedStore, SharedStoreView,
+    SplitMix64, Store, StoreOps, StrandError, StrandResult, Term, Time, VarId, Waiter,
 };
 use strand_parse::{CompiledProgram, CompiledRule};
 
@@ -370,10 +371,17 @@ pub struct RunReport {
 /// The abstract machine.
 pub struct Machine {
     pub(crate) program: Arc<CompiledProgram>,
+    /// Lowered (direct-threaded) form of `program` for the compiled tier;
+    /// rebuilt whenever the program is replaced (see [`Machine::new_worker`]).
+    exec: Arc<ExecProgram>,
+    /// Reusable hot-path buffers: rule frame, pending-variable sets and the
+    /// match stack. One per machine, so each shard of a parallel run owns
+    /// its own and no reduction allocates on the commit path.
+    scratch: Scratch,
     pub(crate) config: MachineConfig,
     pub(crate) store: StoreHandle,
     nodes: Vec<Node>,
-    suspended: HashMap<u64, Susp>,
+    suspended: FxHashMap<u64, Susp>,
     pub(crate) ports: PortsHandle,
     pub(crate) rng: SplitMix64,
     pub(crate) metrics: Metrics,
@@ -437,6 +445,8 @@ impl Machine {
         for &(j, f) in &config.faults.slowdowns {
             slowdown[map(j).0 as usize] = f.max(1);
         }
+        let program = Arc::new(program);
+        let exec = Arc::new(ExecProgram::lower(&program));
         Machine {
             rng: SplitMix64::new(config.seed),
             fault_rng: SplitMix64::new(config.faults.seed),
@@ -453,7 +463,7 @@ impl Machine {
                     queue: BinaryHeap::new(),
                 })
                 .collect(),
-            suspended: HashMap::new(),
+            suspended: FxHashMap::default(),
             ports: PortsHandle::Local(Vec::new()),
             store: StoreHandle::Local(Store::new()),
             next_pid: 0,
@@ -464,7 +474,9 @@ impl Machine {
             extra_cost: 0,
             foreign: crate::foreign::ForeignRegistry::default(),
             trace: Vec::new(),
-            program: Arc::new(program),
+            program,
+            exec,
+            scratch: Scratch::default(),
             config,
             shard: None,
             outbox: Vec::new(),
@@ -488,6 +500,10 @@ impl Machine {
         debug_assert!(idx < threads);
         let mut m = Machine::new(CompiledProgram::default(), config);
         m.program = program;
+        // Re-lower for the worker's actual program (the placeholder above
+        // lowered an empty one). Lowering is linear in program size and runs
+        // once per worker, far off the hot path.
+        m.exec = Arc::new(ExecProgram::lower(&m.program));
         m.store = StoreHandle::Shared(SharedStoreView::new(Arc::clone(&world.store), idx as u32));
         m.ports = PortsHandle::Shared(Arc::clone(&world.ports));
         m.next_pid = (idx as u64) << WORKER_PID_SHIFT;
@@ -534,9 +550,13 @@ impl Machine {
         if self.crashed[node.0 as usize] {
             return; // dead nodes accept no work
         }
-        let tracked = goal
-            .functor()
-            .is_some_and(|(name, _)| self.config.tracked.contains(name.as_str()));
+        // The empty-set check short-circuits the functor walk and hash on
+        // the common untracked configuration (every spawn passes through
+        // here).
+        let tracked = !self.config.tracked.is_empty()
+            && goal
+                .functor()
+                .is_some_and(|(name, _)| self.config.tracked.contains(name.as_str()));
         // In sharded execution, tracked-process gauges are per-owner: the
         // receiving worker counts the spawn when the job arrives (see
         // `absorb`), so spawn/done pairs always land on the same machine.
@@ -790,13 +810,11 @@ impl Machine {
         debug_assert!(!vars.is_empty(), "suspending on empty var set");
         let pid = item.pid;
         // Defensive: if any variable got bound in the meantime (cannot
-        // happen today — reduction is atomic — but cheap to guard), retry.
-        let mut registered = Vec::new();
-        for v in &vars {
-            if self.store.add_waiter(*v, pid) {
-                registered.push(*v);
-            } else {
-                for r in &registered {
+        // happen today — reduction is atomic — but cheap to guard), roll
+        // back the waiters registered so far and retry the goal.
+        for (i, v) in vars.iter().enumerate() {
+            if !self.store.add_waiter(*v, pid) {
+                for r in &vars[..i] {
                     self.store.remove_waiter(*r, pid);
                 }
                 let node = self.current_node;
@@ -1287,6 +1305,140 @@ impl Machine {
             return Ok(());
         }
 
+        match self.config.exec {
+            ExecMode::Compiled => self.reduce_rules_compiled(item, goal, name, arity),
+            ExecMode::Interpreted => self.reduce_rules_interpreted(item, goal, name, arity),
+        }
+    }
+
+    /// Rule dispatch through the compiled tier (`ExecMode::Compiled`, the
+    /// default): direct-threaded match ops, first-argument clause indexing
+    /// and fused match-then-instantiate (see [`crate::exec`]). Must stay
+    /// observably identical to [`Machine::reduce_rules_interpreted`].
+    fn reduce_rules_compiled(
+        &mut self,
+        item: QItem,
+        goal: Term,
+        name: Atom,
+        arity: usize,
+    ) -> StrandResult<()> {
+        let exec = Arc::clone(&self.exec);
+        let Some(proc) = exec.get(name.as_str(), arity) else {
+            self.finish_tracked(&item);
+            return self.record_error(StrandError::UndefinedProcedure {
+                name: name.as_str().to_string(),
+                arity,
+            });
+        };
+        self.metrics.compiled_reductions += 1;
+        let args: &[Term] = goal.goal_args();
+        // One up-front deref of the first argument feeds every index probe.
+        let arg0 = if proc.indexed {
+            args.first().map(|a| self.store.deref(a))
+        } else {
+            None
+        };
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.pending.clear();
+        let mut committed: Option<&exec::ExecRule> = None;
+        let mut hard_err: Option<StrandError> = None;
+        for rule in proc.rules.iter() {
+            if let (Some(key), Some(a0)) = (&rule.key, &arg0) {
+                if !key.admits(a0) {
+                    self.metrics.index_hits += 1;
+                    continue;
+                }
+                self.metrics.index_misses += 1;
+            }
+            self.metrics.rules_tried += 1;
+            let tried = match &self.store {
+                StoreHandle::Local(s) => exec::try_rule(rule, args, s, &mut scratch),
+                StoreHandle::Shared(s) => exec::try_rule(rule, args, s, &mut scratch),
+            };
+            match tried {
+                Err(e) => {
+                    hard_err = Some(e);
+                    break;
+                }
+                Ok(exec::TryResult::Commit) => {
+                    committed = Some(rule);
+                    break;
+                }
+                Ok(exec::TryResult::Fail) => {}
+                Ok(exec::TryResult::Suspend) => {
+                    for i in 0..scratch.rule_pending.len() {
+                        let v = scratch.rule_pending[i];
+                        if !scratch.pending.contains(&v) {
+                            scratch.pending.push(v);
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(e) = hard_err {
+            self.scratch = scratch;
+            return Err(e);
+        }
+        if let Some(rule) = committed {
+            let r = self.commit_exec(rule, &mut scratch.frame);
+            self.scratch = scratch;
+            r?;
+            self.finish_tracked(&item);
+            return Ok(());
+        }
+        if scratch.pending.is_empty() {
+            // All non-otherwise rules failed definitively.
+            if let Some(rule) = &proc.otherwise {
+                self.metrics.rules_tried += 1;
+                let tried = match &self.store {
+                    StoreHandle::Local(s) => exec::try_rule(rule, args, s, &mut scratch),
+                    StoreHandle::Shared(s) => exec::try_rule(rule, args, s, &mut scratch),
+                };
+                match tried {
+                    Err(e) => {
+                        self.scratch = scratch;
+                        return Err(e);
+                    }
+                    Ok(exec::TryResult::Commit) => {
+                        let r = self.commit_exec(rule, &mut scratch.frame);
+                        self.scratch = scratch;
+                        r?;
+                        self.finish_tracked(&item);
+                        return Ok(());
+                    }
+                    Ok(exec::TryResult::Suspend) => {
+                        let vars = std::mem::take(&mut scratch.rule_pending);
+                        self.scratch = scratch;
+                        *self.metrics.susp_by_proc.entry(name).or_insert(0) += 1;
+                        self.suspend(item, vars);
+                        return Ok(());
+                    }
+                    Ok(exec::TryResult::Fail) => {}
+                }
+            }
+            let resolved = self.store.resolve(&goal);
+            self.scratch = scratch;
+            self.finish_tracked(&item);
+            self.record_error(StrandError::NoMatchingRule { goal: resolved })
+        } else {
+            let vars = std::mem::take(&mut scratch.pending);
+            self.scratch = scratch;
+            *self.metrics.susp_by_proc.entry(name).or_insert(0) += 1;
+            self.suspend(item, vars);
+            Ok(())
+        }
+    }
+
+    /// Rule dispatch through the reference interpreter
+    /// (`ExecMode::Interpreted`): per-reduction `Pat` walking. Kept as the
+    /// executable semantics the compiled tier is diffed against.
+    fn reduce_rules_interpreted(
+        &mut self,
+        item: QItem,
+        goal: Term,
+        name: Atom,
+        arity: usize,
+    ) -> StrandResult<()> {
         let program = Arc::clone(&self.program);
         let Some(proc) = program.get(name.as_str(), arity) else {
             self.finish_tracked(&item);
@@ -1295,28 +1447,41 @@ impl Machine {
                 arity,
             });
         };
+        self.metrics.interpreted_reductions += 1;
 
         // Try rules in order; collect suspension variables from rules that
-        // might still become applicable.
-        let rules: &[CompiledRule] = &proc.rules;
-        let args: Vec<Term> = goal.goal_args().to_vec();
-        let mut pending: Vec<VarId> = Vec::new();
+        // might still become applicable. The goal is a dereferenced local,
+        // so its argument slice can be borrowed directly — no `to_vec`.
+        let args: &[Term] = goal.goal_args();
+        let mut pending = std::mem::take(&mut self.scratch.pending);
+        pending.clear();
+        let mut frame = std::mem::take(&mut self.scratch.frame);
         let mut otherwise: Option<&CompiledRule> = None;
-        for rule in rules {
+        for rule in &proc.rules {
             if rule.otherwise {
                 if otherwise.is_none() {
                     otherwise = Some(rule);
                 }
                 continue;
             }
-            match self.try_rule(rule, &args)? {
-                TryOutcome::Commit(frame) => {
-                    self.commit(rule, frame)?;
+            self.metrics.rules_tried += 1;
+            frame.reset(rule.n_locals);
+            match self.try_rule(rule, args, &mut frame) {
+                Err(e) => {
+                    self.scratch.frame = frame;
+                    self.scratch.pending = pending;
+                    return Err(e);
+                }
+                Ok(TryOutcome::Commit) => {
+                    let r = self.commit(rule, &mut frame);
+                    self.scratch.frame = frame;
+                    self.scratch.pending = pending;
+                    r?;
                     self.finish_tracked(&item);
                     return Ok(());
                 }
-                TryOutcome::Fail => {}
-                TryOutcome::Suspend(vs) => {
+                Ok(TryOutcome::Fail) => {}
+                Ok(TryOutcome::Suspend(vs)) => {
                     for v in vs {
                         if !pending.contains(&v) {
                             pending.push(v);
@@ -1328,23 +1493,43 @@ impl Machine {
         if pending.is_empty() {
             // All non-otherwise rules failed definitively.
             if let Some(rule) = otherwise {
-                match self.try_rule(rule, &args)? {
-                    TryOutcome::Commit(frame) => {
-                        self.commit(rule, frame)?;
+                self.metrics.rules_tried += 1;
+                frame.reset(rule.n_locals);
+                match self.try_rule(rule, args, &mut frame) {
+                    Err(e) => {
+                        self.scratch.frame = frame;
+                        self.scratch.pending = pending;
+                        return Err(e);
+                    }
+                    Ok(TryOutcome::Commit) => {
+                        let r = self.commit(rule, &mut frame);
+                        self.scratch.frame = frame;
+                        self.scratch.pending = pending;
+                        r?;
                         self.finish_tracked(&item);
                         return Ok(());
                     }
-                    TryOutcome::Suspend(vs) => {
+                    Ok(TryOutcome::Suspend(vs)) => {
+                        self.scratch.frame = frame;
+                        self.scratch.pending = pending;
+                        *self.metrics.susp_by_proc.entry(name).or_insert(0) += 1;
                         self.suspend(item, vs);
                         return Ok(());
                     }
-                    TryOutcome::Fail => {}
+                    Ok(TryOutcome::Fail) => {}
                 }
             }
+            self.scratch.frame = frame;
+            self.scratch.pending = pending;
             let resolved = self.store.resolve(&goal);
             self.finish_tracked(&item);
             self.record_error(StrandError::NoMatchingRule { goal: resolved })
         } else {
+            self.scratch.frame = frame;
+            *self.metrics.susp_by_proc.entry(name).or_insert(0) += 1;
+            // `pending` is donated to the suspension record; the scratch
+            // buffer re-grows on the next suspending reduction (the commit
+            // path never pushes, so it stays allocation-free).
             self.suspend(item, pending);
             Ok(())
         }
@@ -1356,9 +1541,13 @@ impl Machine {
         }
     }
 
-    fn try_rule(&mut self, rule: &CompiledRule, args: &[Term]) -> StrandResult<TryOutcome> {
-        let mut frame = strand_core::Frame::with_locals(rule.n_locals);
-        match match_args(args, &rule.head, &self.store, &mut frame) {
+    fn try_rule(
+        &self,
+        rule: &CompiledRule,
+        args: &[Term],
+        frame: &mut strand_core::Frame,
+    ) -> StrandResult<TryOutcome> {
+        match match_args(args, &rule.head, &self.store, frame) {
             MatchOutcome::Fail => return Ok(TryOutcome::Fail),
             MatchOutcome::Suspend(vs) => return Ok(TryOutcome::Suspend(vs)),
             MatchOutcome::Match => {}
@@ -1367,7 +1556,7 @@ impl Machine {
         for guard in &rule.guards {
             // A guard mentioning a variable not bound by the head can never
             // be decided; treat as failure (and surface a programmer error).
-            let Some(gterm) = guard.instantiate_ro(&frame) else {
+            let Some(gterm) = guard.instantiate_ro(frame) else {
                 return Ok(TryOutcome::Fail);
             };
             match strand_core::eval_guard(&gterm, &self.store)? {
@@ -1383,22 +1572,58 @@ impl Machine {
             }
         }
         if pending.is_empty() {
-            Ok(TryOutcome::Commit(frame))
+            Ok(TryOutcome::Commit)
         } else {
             Ok(TryOutcome::Suspend(pending))
         }
     }
 
-    fn commit(&mut self, rule: &CompiledRule, mut frame: strand_core::Frame) -> StrandResult<()> {
+    fn commit(&mut self, rule: &CompiledRule, frame: &mut strand_core::Frame) -> StrandResult<()> {
         for call in &rule.body {
-            let goal = call.goal.instantiate(&mut frame, &mut self.store);
+            let goal = call.goal.instantiate(frame, &mut self.store);
             match &call.placement {
                 None => {
                     let node = self.current_node;
                     self.spawn(goal, node);
                 }
                 Some(place) => {
-                    let place_term = place.instantiate(&mut frame, &mut self.store);
+                    let place_term = place.instantiate(frame, &mut self.store);
+                    match strand_core::eval_arith(&place_term, &self.store) {
+                        Ok(strand_core::arith::Evaled::Num(n)) => {
+                            let target = self.map_node(n.as_f64() as i64);
+                            self.spawn(goal, target);
+                        }
+                        Ok(strand_core::arith::Evaled::Suspend(_)) => {
+                            // Placement not yet known: defer via the internal
+                            // `'$spawn_at'` builtin, which suspends.
+                            let node = self.current_node;
+                            self.spawn(Term::tuple("$spawn_at", vec![place_term, goal]), node);
+                        }
+                        Err(e) => self.record_error(e)?,
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Body instantiation for a committed compiled rule: identical spawn and
+    /// placement semantics to [`Machine::commit`], but goals are built from
+    /// pre-lowered [`exec::Tmpl`] templates (ground subtrees pre-built).
+    fn commit_exec(
+        &mut self,
+        rule: &exec::ExecRule,
+        frame: &mut strand_core::Frame,
+    ) -> StrandResult<()> {
+        for call in rule.body.iter() {
+            let goal = call.goal.build(frame, &mut self.store);
+            match &call.placement {
+                None => {
+                    let node = self.current_node;
+                    self.spawn(goal, node);
+                }
+                Some(place) => {
+                    let place_term = place.build(frame, &mut self.store);
                     match strand_core::eval_arith(&place_term, &self.store) {
                         Ok(strand_core::arith::Evaled::Num(n)) => {
                             let target = self.map_node(n.as_f64() as i64);
@@ -1420,7 +1645,8 @@ impl Machine {
 }
 
 enum TryOutcome {
-    Commit(strand_core::Frame),
+    /// Head matched and guards passed; bindings are in the caller's frame.
+    Commit,
     Fail,
     Suspend(Vec<VarId>),
 }

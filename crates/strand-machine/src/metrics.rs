@@ -7,7 +7,7 @@
 //! E4).
 
 use std::collections::HashMap;
-use strand_core::{NodeId, Time};
+use strand_core::{Atom, FxHashMap, NodeId, Time};
 
 /// Metrics collected during a run.
 #[derive(Clone, Debug, Default)]
@@ -53,6 +53,22 @@ pub struct Metrics {
     pub msgs_delayed: u64,
     /// Nodes killed by the fault plan during the run.
     pub nodes_crashed: u64,
+    /// Rule attempts that ran a full head match (both tiers; excludes rules
+    /// skipped by the first-argument index).
+    pub rules_tried: u64,
+    /// Rules the first-argument index skipped without a match attempt
+    /// (compiled tier only).
+    pub index_hits: u64,
+    /// Rules the index was consulted on but could not rule out (compiled
+    /// tier only).
+    pub index_misses: u64,
+    /// Rule-based reductions dispatched through the compiled tier.
+    pub compiled_reductions: u64,
+    /// Rule-based reductions dispatched through the reference interpreter.
+    pub interpreted_reductions: u64,
+    /// Suspensions per procedure name (`Atom` keys keep this off the
+    /// allocation hot path: bumping a counter is an `Arc` clone at worst).
+    pub susp_by_proc: FxHashMap<Atom, u64>,
     /// Real (wall-clock) duration of the run in nanoseconds. Unlike every
     /// virtual-time metric above this depends on the host; backends fill it
     /// in so B-series experiments can compare engines on the same workload.
@@ -194,6 +210,14 @@ impl Metrics {
         self.msgs_duplicated += other.msgs_duplicated;
         self.msgs_delayed += other.msgs_delayed;
         self.nodes_crashed += other.nodes_crashed;
+        self.rules_tried += other.rules_tried;
+        self.index_hits += other.index_hits;
+        self.index_misses += other.index_misses;
+        self.compiled_reductions += other.compiled_reductions;
+        self.interpreted_reductions += other.interpreted_reductions;
+        for (name, count) in &other.susp_by_proc {
+            *self.susp_by_proc.entry(name.clone()).or_insert(0) += count;
+        }
     }
 }
 
@@ -233,6 +257,29 @@ mod tests {
         assert_eq!(m.peak_tracked[0], 2);
         assert_eq!(m.live_tracked[0], 2);
         assert_eq!(m.max_peak_tracked(), 2);
+    }
+
+    #[test]
+    fn rule_counters_merge_additively() {
+        let mut a = Metrics::new(1);
+        a.rules_tried = 5;
+        a.index_hits = 2;
+        a.compiled_reductions = 3;
+        a.susp_by_proc.insert(Atom::new("eval"), 4);
+        let mut b = Metrics::new(1);
+        b.rules_tried = 7;
+        b.index_misses = 1;
+        b.interpreted_reductions = 2;
+        b.susp_by_proc.insert(Atom::new("eval"), 1);
+        b.susp_by_proc.insert(Atom::new("reduce"), 6);
+        a.merge(&b);
+        assert_eq!(a.rules_tried, 12);
+        assert_eq!(a.index_hits, 2);
+        assert_eq!(a.index_misses, 1);
+        assert_eq!(a.compiled_reductions, 3);
+        assert_eq!(a.interpreted_reductions, 2);
+        assert_eq!(a.susp_by_proc[&Atom::new("eval")], 5);
+        assert_eq!(a.susp_by_proc[&Atom::new("reduce")], 6);
     }
 
     #[test]

@@ -14,7 +14,7 @@
 use crate::ast::{Annotation, Ast, Program, Rule};
 use std::collections::HashMap;
 use std::fmt;
-use strand_core::{Atom, Pat};
+use strand_core::{Atom, FxHashMap, Pat};
 
 /// Compilation error.
 #[derive(Clone, Debug, PartialEq)]
@@ -85,9 +85,15 @@ pub struct CompiledProc {
 }
 
 /// A compiled program, indexed by name/arity.
+///
+/// Procedures are keyed by [`Atom`] name with a small per-name vector of
+/// arities. `Atom` hashes and compares as its string content and implements
+/// `Borrow<str>`, so [`CompiledProgram::get`] is allocation-free, and the
+/// table uses [`strand_core::fxhash`] — this lookup sits on the machine's
+/// per-reduction hot path.
 #[derive(Clone, Debug, Default)]
 pub struct CompiledProgram {
-    procs: HashMap<(String, usize), CompiledProc>,
+    procs: FxHashMap<Atom, Vec<CompiledProc>>,
     /// Singleton-variable warnings, as `procedure: VarName` strings.
     pub warnings: Vec<String>,
 }
@@ -95,12 +101,17 @@ pub struct CompiledProgram {
 impl CompiledProgram {
     /// Look up a procedure by name and arity.
     pub fn get(&self, name: &str, arity: usize) -> Option<&CompiledProc> {
-        self.procs.get(&(name.to_string(), arity))
+        self.procs.get(name)?.iter().find(|p| p.arity == arity)
+    }
+
+    /// Iterate over all procedures, in unspecified order.
+    pub fn procs(&self) -> impl Iterator<Item = &CompiledProc> {
+        self.procs.values().flatten()
     }
 
     /// Number of procedures.
     pub fn len(&self) -> usize {
-        self.procs.len()
+        self.procs.values().map(Vec::len).sum()
     }
 
     /// True if no procedures were compiled.
@@ -117,14 +128,13 @@ pub fn compile_program(p: &Program) -> Result<CompiledProgram, CompileError> {
         for rule in &proc.rules {
             rules.push(compile_rule(rule, &proc.name, &mut out.warnings)?);
         }
-        out.procs.insert(
-            (proc.name.clone(), proc.arity),
-            CompiledProc {
-                name: proc.name.clone(),
-                arity: proc.arity,
-                rules,
-            },
-        );
+        let slot = out.procs.entry(Atom::new(proc.name.as_str())).or_default();
+        slot.retain(|p| p.arity != proc.arity);
+        slot.push(CompiledProc {
+            name: proc.name.clone(),
+            arity: proc.arity,
+            rules,
+        });
     }
     Ok(out)
 }

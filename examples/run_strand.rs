@@ -4,19 +4,23 @@
 //!
 //! ```sh
 //! cargo run --example run_strand -- <file> <goal> [nodes] [seed] \
-//!     [--trace] [--backend sim|parallel] [--threads N]
+//!     [--trace] [--stats] [--backend sim|parallel] [--threads N] \
+//!     [--exec compiled|interpreted]
 //! # e.g.
 //! echo 'double(X, Y) :- Y := X * 2.' > /tmp/d.str
 //! cargo run --example run_strand -- /tmp/d.str 'double(21, V)'
 //! # same program on real worker threads:
 //! cargo run --example run_strand -- /tmp/d.str 'double(21, V)' 4 0 \
 //!     --backend parallel --threads 4
+//! # rule-level statistics from the reference interpreter:
+//! cargo run --example run_strand -- /tmp/d.str 'double(21, V)' \
+//!     --exec interpreted --stats
 //! ```
 //!
 //! With no arguments it runs a built-in demo (the paper's Figure 1).
 
 use algorithmic_motifs::strand_machine::{
-    render_trace, run_goal, trace_summary, MachineConfig, RunStatus,
+    render_trace, run_goal, trace_summary, ExecMode, MachineConfig, RunStatus,
 };
 
 const DEMO: &str = r#"
@@ -45,14 +49,27 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let trace = args.iter().any(|a| a == "--trace");
     args.retain(|a| a != "--trace");
+    let stats = args.iter().any(|a| a == "--stats");
+    args.retain(|a| a != "--stats");
     let backend = take_flag_value(&mut args, "--backend").unwrap_or_else(|| "sim".to_string());
     let threads: u32 = take_flag_value(&mut args, "--threads")
         .map(|v| v.parse().expect("--threads wants a number"))
         .unwrap_or(0);
+    let exec_arg = take_flag_value(&mut args, "--exec").unwrap_or_else(|| "compiled".to_string());
     if !matches!(backend.as_str(), "sim" | "parallel") {
         eprintln!("--backend must be `sim` (deterministic) or `parallel`, got `{backend}`");
         std::process::exit(2);
     }
+    let exec = match exec_arg.as_str() {
+        "compiled" => ExecMode::Compiled,
+        "interpreted" => ExecMode::Interpreted,
+        other => {
+            eprintln!(
+                "--exec must be `compiled` (fast path) or `interpreted` (reference), got `{other}`"
+            );
+            std::process::exit(2);
+        }
+    };
     let (source, goal, label) = match args.as_slice() {
         [] => (
             DEMO.to_string(),
@@ -67,7 +84,8 @@ fn main() {
         _ => {
             eprintln!(
                 "usage: run_strand <file> <goal> [nodes] [seed] \
-                 [--trace] [--backend sim|parallel] [--threads N]"
+                 [--trace] [--stats] [--backend sim|parallel] [--threads N] \
+                 [--exec compiled|interpreted]"
             );
             std::process::exit(2);
         }
@@ -75,7 +93,7 @@ fn main() {
     let nodes: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1);
     let seed: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(0);
 
-    println!("program: {label}\ngoal:    {goal}\nnodes:   {nodes}\nbackend: {backend}\n");
+    println!("program: {label}\ngoal:    {goal}\nnodes:   {nodes}\nbackend: {backend}\nexec:    {exec_arg}\n");
     if let Ok(parsed) = algorithmic_motifs::strand_parse::parse_program(&source) {
         let findings = algorithmic_motifs::strand_parse::lint(&parsed, &[]);
         for l in &findings {
@@ -85,7 +103,7 @@ fn main() {
             eprintln!();
         }
     }
-    let mut config = MachineConfig::with_nodes(nodes).seed(seed);
+    let mut config = MachineConfig::with_nodes(nodes).seed(seed).exec(exec);
     config.record_trace = trace;
     if backend == "parallel" {
         algorithmic_motifs::strand_parallel::install();
@@ -126,6 +144,37 @@ fn main() {
                     m.wall_ns as f64 / 1e6,
                     m.worker_jobs
                 );
+            }
+            if stats {
+                println!("\n--- rule stats ---");
+                println!(
+                    "rule dispatches: {} compiled, {} interpreted",
+                    m.compiled_reductions, m.interpreted_reductions
+                );
+                println!("rules tried (full head match): {}", m.rules_tried);
+                let probes = m.index_hits + m.index_misses;
+                if probes > 0 {
+                    println!(
+                        "first-arg index: {} skipped, {} passed through ({:.1}% filtered)",
+                        m.index_hits,
+                        m.index_misses,
+                        100.0 * m.index_hits as f64 / probes as f64
+                    );
+                } else {
+                    println!("first-arg index: no keyed rules probed");
+                }
+                if !m.susp_by_proc.is_empty() {
+                    let mut by_proc: Vec<(&str, u64)> = m
+                        .susp_by_proc
+                        .iter()
+                        .map(|(name, n)| (name.as_str(), *n))
+                        .collect();
+                    by_proc.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+                    println!("suspensions by procedure:");
+                    for (name, n) in by_proc {
+                        println!("  {name}: {n}");
+                    }
+                }
             }
             if let RunStatus::Quiescent { suspended } = r.report.status {
                 println!("note: {suspended} process(es) idle awaiting input (normal for server networks)");

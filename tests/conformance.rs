@@ -1,7 +1,13 @@
-//! Determinism conformance harness: every inventory motif program runs on
-//! both execution backends — the deterministic simulator and the
-//! multi-threaded `strand-parallel` engine at 1, 2, 4 and 8 worker
-//! threads — and must produce equivalent results.
+//! Determinism conformance harness: every inventory motif program runs in
+//! three columns — the deterministic simulator on the **compiled**
+//! rule-execution tier (the default), the same simulator on the reference
+//! **interpreter** (`--exec interpreted`), and the multi-threaded
+//! `strand-parallel` engine at 1, 2, 4 and 8 worker threads — and must
+//! produce equivalent results.
+//!
+//! The two tiers share one scheduler, so their comparison is the strictest
+//! in the suite: **bit-identical** bindings, ordered output, status, and
+//! reduction/suspension counts (DESIGN.md, "Compiled execution tier").
 //!
 //! Equivalence is checked per the contract in DESIGN.md ("Execution
 //! backends"):
@@ -126,6 +132,34 @@ fn assert_conform(
     let exact_at_one = !dbg.contains("merge") && !dbg.contains("after_unless");
     let det = run_parsed_goal(program, goal, cfg.clone())
         .unwrap_or_else(|e| panic!("{label}: deterministic run: {e}"));
+    // Third column: the reference interpreter under the same deterministic
+    // scheduler. The compiled tier (cfg default) must be bit-identical to
+    // it — no renaming slack, no multiset fallback.
+    let interp = run_parsed_goal(program, goal, cfg.clone().interpreted())
+        .unwrap_or_else(|e| panic!("{label}: interpreted run: {e}"));
+    assert_eq!(
+        det.bindings, interp.bindings,
+        "{label}: compiled tier bindings must equal the interpreter's exactly"
+    );
+    assert_eq!(
+        det.report.output, interp.report.output,
+        "{label}: compiled tier output must equal the interpreter's exactly (ordered)"
+    );
+    assert_eq!(
+        det.report.status, interp.report.status,
+        "{label}: compiled tier status must equal the interpreter's"
+    );
+    assert_eq!(
+        (
+            det.report.metrics.total_reductions,
+            det.report.metrics.suspensions,
+        ),
+        (
+            interp.report.metrics.total_reductions,
+            interp.report.metrics.suspensions,
+        ),
+        "{label}: compiled tier must perform the same reductions/suspensions"
+    );
     for threads in [1u32, 2, 4, 8] {
         let par = run_parsed_goal(program, goal, cfg.clone().parallel(threads))
             .unwrap_or_else(|e| panic!("{label}: parallel({threads}) run: {e}"));
@@ -387,6 +421,12 @@ fn conform_supervise_ring() {
     let goal = "create(4, token(1))";
     let cfg = MachineConfig::with_nodes(4).seed(47);
     let det = run_parsed_goal(&program, goal, cfg.clone()).unwrap();
+    let interp = run_parsed_goal(&program, goal, cfg.clone().interpreted()).unwrap();
+    assert_eq!(
+        det.report.output, interp.report.output,
+        "supervise-ring: compiled tier must replay the interpreter exactly"
+    );
+    assert_eq!(det.report.status, interp.report.status);
     let par = run_parsed_goal(&program, goal, cfg.parallel(4)).unwrap();
     assert_eq!(
         std::mem::discriminant(&det.report.status),
@@ -416,7 +456,8 @@ proptest! {
 
     /// Random fault-free tree programs (the fault-determinism generator's
     /// shape with faults disabled) produce identical values on both
-    /// backends across 3 machine seeds.
+    /// backends across 3 machine seeds, and the compiled tier is
+    /// bit-identical to the reference interpreter on each of them.
     #[test]
     fn random_programs_conform(
         leaves in 2u32..16,
@@ -432,6 +473,17 @@ proptest! {
             let cfg = MachineConfig::with_nodes(p).seed(machine_seed);
             let det = run_parsed_goal(&program, &goal, cfg.clone()).unwrap();
             prop_assert_eq!(det.bindings["Value"].to_string(), expected.clone());
+            let interp = run_parsed_goal(&program, &goal, cfg.clone().interpreted()).unwrap();
+            prop_assert_eq!(&det.bindings, &interp.bindings);
+            prop_assert_eq!(&det.report.output, &interp.report.output);
+            prop_assert_eq!(
+                det.report.metrics.total_reductions,
+                interp.report.metrics.total_reductions
+            );
+            prop_assert_eq!(
+                det.report.metrics.suspensions,
+                interp.report.metrics.suspensions
+            );
             let par = run_parsed_goal(&program, &goal, cfg.parallel(2)).unwrap();
             prop_assert_eq!(par.bindings["Value"].to_string(), expected.clone());
         }
