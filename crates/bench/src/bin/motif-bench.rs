@@ -117,6 +117,37 @@ fn main() {
         }
         return;
     }
+    if args.first().map(String::as_str) == Some("chaos-json") {
+        // Robustness series: the supervised ring under the parallel
+        // backend's wall-clock fault injection (shard kill, batch
+        // drop/duplication). `--quick` takes one sample per cell.
+        let quick = args.iter().any(|a| a == "--quick");
+        let path = args
+            .get(1)
+            .filter(|a| !a.starts_with("--"))
+            .map(String::as_str)
+            .unwrap_or("out/BENCH_chaos.json");
+        ensure_parent(path);
+        let points = bench::b3_chaos(quick);
+        let json = bench::render_chaos_json(&points);
+        std::fs::write(path, &json).expect("write chaos bench json");
+        print!("{json}");
+        for p in &points {
+            eprintln!(
+                "{:<14} {} threads: {:>8.2} ms, {:>7} red ({:>5.2}x), \
+                 delivered {}/{}, restarts {}",
+                p.scenario,
+                p.threads,
+                p.wall_ns as f64 / 1e6,
+                p.reductions,
+                p.overhead,
+                p.delivered,
+                p.expected,
+                p.restarts
+            );
+        }
+        return;
+    }
     if args.iter().any(|a| a == "list" || a == "--list") {
         for name in bench::EXPERIMENTS {
             println!("{name}");

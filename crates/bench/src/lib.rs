@@ -11,6 +11,7 @@
 //! crossings, live bytes); on a single-core CI box wall-clock speedup is
 //! meaningless, and EXPERIMENTS.md says so.
 
+pub mod chaos_bench;
 pub mod compiled_bench;
 pub mod counting_alloc;
 pub mod experiments;
@@ -18,6 +19,7 @@ pub mod machine_bench;
 pub mod parallel_bench;
 pub mod table;
 
+pub use chaos_bench::{b3_chaos, parse_chaos_json, render_chaos_json, ChaosPoint};
 pub use compiled_bench::{b2_compiled, parse_compiled_json, render_compiled_json, CompiledPoint};
 pub use experiments::*;
 pub use parallel_bench::{b1_parallel, parse_parallel_json, render_parallel_json, ParallelPoint};

@@ -43,33 +43,71 @@ pub const SUPERVISE_LIBRARY: &str = r#"
 % Supervise motif library: acked delivery, heartbeats, crash restart.
 
 % Reliable bootstrap: re-place server_init until the wire slot appears
-% (a dropped remote spawn would otherwise lose a whole server).
+% (a dropped remote spawn would otherwise lose a whole server). The
+% first attempts target the server's home node; later attempts fail
+% over to the next node — a home shard that died before booting would
+% otherwise swallow every retry and server J would never exist
+% anywhere. put_arg's test-and-set keeps a late home boot harmless.
 spawn_servers(0, _).
 spawn_servers(J, DT) :- J > 0 |
     boot(J, DT, 0),
     J1 := J - 1,
     spawn_servers(J1, DT).
 
-boot(J, DT, K) :-
-    server_init(J, DT)@J,
+boot(J, DT, K) :- K < 3 |
+    server_init(J, J, DT)@J,
     arg(J, DT, Slot),
     after_unless(Slot, 600, T),
     bwait(T, Slot, J, DT, K).
-bwait(_, Slot, _, _, _) :- data(Slot) | true.
-bwait(timeout, Slot, J, DT, K) :- unknown(Slot), K < 5 |
+boot(J, DT, K) :- K >= 3 |
+    length(DT, N),
+    H := J mod N + 1,
+    server_init(H, J, DT)@H,
+    arg(J, DT, Slot),
+    after_unless(Slot, 600, T),
+    bwait(T, Slot, J, DT, K).
+bwait(_, Slot, J, DT, _) :- data(Slot) | mplace(Slot, J, DT).
+bwait(timeout, Slot, J, DT, K) :- unknown(Slot), K < 8 |
     K1 := K + 1,
     boot(J, DT, K1).
-bwait(timeout, Slot, _, _, K) :- unknown(Slot), K >= 5 | true.
+bwait(timeout, Slot, _, _, K) :- unknown(Slot), K >= 8 | true.
 
-% Supervised server_init: the wire port is the durable inbox; the
-% monitor for node J lives on the next node round-robin.
-server_init(J, DT) :-
+% Supervised server_init, running on host node H (home or failover);
+% the wire port is the durable inbox. The slot fill is a test-and-set
+% (put_arg/4), so a duplicated server_init delivery — bootstrap retry
+% racing a slow spawn, or chaos duplication — loses the race and stands
+% down instead of double-starting the server. The slot carries the
+% wire, the stop flag, and the host alongside the port so the bootstrap
+% side can hand them to the monitor.
+server_init(H, J, DT) :-
     open_port(P, Wire),
-    put_arg(J, DT, P),
-    deliver(Wire, DT, Stop),
+    put_arg(J, DT, m(P, Wire, Stop, H), Won),
+    init_won(Won, Wire, DT, Stop).
+init_won(no, _, _, _).
+init_won(yes, Wire, DT, Stop) :-
+    deliver(Wire, DT, Stop).
+
+% Monitor placement is driven from the *bootstrap* node, not from the
+% host H: a retry loop on H dies with H, exactly when it is needed
+% most. From here it stands on ground that survives H's death, and it
+% re-places the monitor until one acknowledges (a remote spawn can be
+% lost to a dropped cross-machine batch). A retry racing a slow spawn
+% — or several boot attempts each reaching mplace — yields extra
+% monitors, which at worst duplicate a restart: at-least-once, as
+% everywhere in this library.
+mplace(m(_, Wire, Stop, H), _, DT) :-
     length(DT, N),
-    J1 := J mod N + 1,
-    sup_mon(J, Wire, DT, Stop)@J1.
+    M := H mod N + 1,
+    mboot(H, M, Wire, DT, Stop, 0).
+mboot(H, M, Wire, DT, Stop, K) :-
+    sup_mon(H, Wire, DT, Stop, MAck)@M,
+    after_unless(MAck, 600, T),
+    mbwait(T, MAck, H, M, Wire, DT, Stop, K).
+mbwait(_, MAck, _, _, _, _, _, _) :- data(MAck) | true.
+mbwait(timeout, MAck, H, M, Wire, DT, Stop, K) :- unknown(MAck), K < 5 |
+    K1 := K + 1,
+    mboot(H, M, Wire, DT, Stop, K1).
+mbwait(timeout, MAck, _, _, _, _, _, K) :- unknown(MAck), K >= 5 | true.
 
 % Delivery loop: start a server and consume the wire.
 deliver(Wire, DT, Stop) :-
@@ -119,7 +157,8 @@ rwait(Ack, timeout, _, _, _, _, K, _, Done) :- unknown(Ack), K >= 5 |
 % by the monitor's node; silence for a whole watch window means the
 % watched node is dead — restart its delivery loop here, replaying the
 % wire (the inbox survived the crash in the global store).
-sup_mon(J, Wire, DT, Stop) :-
+sup_mon(J, Wire, DT, Stop, MAck) :-
+    ack(MAck),
     open_port(BP, Beats),
     beater(Stop, BP)@J,
     watch(Beats, J, Wire, DT, Stop).
@@ -139,6 +178,7 @@ mwait(_, _, _, _, _, Stop) :- Stop == ok | true.
 mwait([_|Beats], T, J, Wire, DT, Stop) :- unknown(Stop) |
     watch(Beats, J, Wire, DT, Stop).
 mwait(Beats, timeout, _, Wire, DT, Stop) :- unknown(Beats), unknown(Stop) |
+    sup_restart,
     deliver(Wire, DT, Stop).
 "#;
 
@@ -364,6 +404,53 @@ mod tests {
         );
         assert_eq!(r.report.output, vec!["1", "2", "3"]);
         assert!(r.report.metrics.msgs_duplicated >= 1);
+    }
+
+    #[test]
+    fn duplicated_bootstrap_is_idempotent() {
+        // Duplicate EVERY cross-node delivery: each server_init spawn (and
+        // every envelope) arrives twice. The put_arg/4 test-and-set lets
+        // exactly one copy win per node; the losers stand down instead of
+        // double-starting the server and double-filling the wire slot.
+        let plan = FaultPlan::default().dup_prob(1.0).seed(3);
+        let p = supervised_server().apply_src(RING).unwrap();
+        let r = run_parsed_goal(
+            &p,
+            "create(4, token(1))",
+            MachineConfig::with_nodes(4).faults(plan),
+        )
+        .unwrap();
+        assert_eq!(
+            r.report.status,
+            RunStatus::Completed,
+            "{:?}",
+            r.report.errors
+        );
+        for k in ["1", "2", "3", "4"] {
+            assert!(
+                r.report.output.contains(&k.to_string()),
+                "missing {k}: {:?}",
+                r.report.output
+            );
+        }
+        assert!(r.report.metrics.msgs_duplicated >= 1);
+    }
+
+    #[test]
+    fn restarts_are_counted_in_metrics() {
+        let plan = FaultPlan::default().crash(2, 60);
+        let sup = supervised_server().apply_src(RING).unwrap();
+        let r = run_parsed_goal(
+            &sup,
+            "create(4, token(1))",
+            MachineConfig::with_nodes(4).faults(plan),
+        )
+        .unwrap();
+        assert_eq!(r.report.status, RunStatus::Completed);
+        assert!(
+            r.report.metrics.supervisor_restarts >= 1,
+            "the heartbeat-timeout rule must count its restarts"
+        );
     }
 
     #[test]

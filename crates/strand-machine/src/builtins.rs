@@ -12,6 +12,8 @@
 //! | `rand_num(N, R)` | random integer in `(1,N)` (§3.3) — deterministic, seeded |
 //! | `distribute(I, DT, Msg)` | append `Msg` to the `I`-th server stream (Server transformation step 2) |
 //! | `make_tuple(N, T)`, `put_arg(I, T, V)` | construct the stream tuple (Figure 3) |
+//! | `put_arg(I, T, V, Won)` | test-and-set slot fill: `Won := yes` iff the slot was empty — makes supervised bootstrap idempotent under duplicate delivery |
+//! | `sup_restart` | count one supervisor restart in the run metrics (Supervise motif's timeout rule) |
 //! | `open_port(P, S)`, `send_port(P, M)` | create/feed a merged stream — the machine-level realization of Figure 3's `merge` network |
 //! | `merge(Streams, Out)` | merge a list of streams into one (§3.2) |
 //! | `work(W)` | advance the node's clock by `W` ticks — models user computation cost in experiments |
@@ -44,7 +46,7 @@ pub(crate) enum BuiltinOutcome {
 /// arity (an integer compare) discriminates before any string compare runs.
 pub(crate) fn is_builtin(name: &str, arity: usize) -> bool {
     match arity {
-        0 => name == "true",
+        0 => matches!(name, "true" | "sup_restart"),
         1 => matches!(
             name,
             "work" | "print" | "current_node" | "ack" | "unique_id"
@@ -65,7 +67,7 @@ pub(crate) fn is_builtin(name: &str, arity: usize) -> bool {
                 | "$deliver"
         ),
         3 => matches!(name, "distribute" | "put_arg" | "arg" | "after_unless"),
-        4 => name == "distribute",
+        4 => matches!(name, "distribute" | "put_arg"),
         _ => false,
     }
 }
@@ -86,6 +88,14 @@ impl Machine {
         let args: &[Term] = goal.goal_args();
         Ok(match (name, args) {
             ("true", []) => BuiltinOutcome::Done,
+
+            // Marks one supervisor restart: the Supervise motif calls this
+            // in its heartbeat-timeout rule, so chaos and fault runs can
+            // report recovery activity through the metrics.
+            ("sup_restart", []) => {
+                self.metrics.supervisor_restarts += 1;
+                BuiltinOutcome::Done
+            }
 
             (":=", [lhs, rhs]) => self.assign(lhs, rhs, true)?,
             ("=", [lhs, rhs]) => self.assign(lhs, rhs, false)?,
@@ -119,7 +129,17 @@ impl Machine {
                                 format!("stream index {ix} out of 1..{}", slots.len()),
                             )
                         } else {
-                            match self.store.deref(&slots[*ix as usize - 1]) {
+                            // A slot may hold the port directly, or a record
+                            // whose first field is the port (the Supervise
+                            // motif stores `m(P, Wire, Stop)` so the monitor
+                            // can be placed from the bootstrap side).
+                            let slot = match self.store.deref(&slots[*ix as usize - 1]) {
+                                Term::Tuple(_, fields) if !fields.is_empty() => {
+                                    self.store.deref(&fields[0])
+                                }
+                                other => other,
+                            };
+                            match slot {
                                 Term::Port(p) => {
                                     let sent = self.port_send(p, msg.clone())?;
                                     match (sent, ack) {
@@ -172,6 +192,41 @@ impl Machine {
                         }
                     }
                     _ => bad("put_arg/3", "expects integer index and tuple"),
+                }
+            }
+
+            // `put_arg(I, T, V, Won)`: test-and-set form of `put_arg/3`.
+            // Fills slot `I` with `V` and binds `Won := yes` iff the slot
+            // is still unbound; otherwise leaves the slot alone and binds
+            // `Won := no`. Suspends until `V` is data, so a slot is only
+            // ever filled with a value and a loser reliably sees it filled.
+            // The whole test-and-set is one reduction, so racers on the
+            // same node serialize: exactly one wins. The Supervise motif
+            // uses this to make bootstrap idempotent under duplicated
+            // `server_init` delivery.
+            ("put_arg", [i, t, v, won]) => {
+                let idx = self.store.deref(i);
+                let tuple = self.store.deref(t);
+                match (&idx, &tuple) {
+                    (Term::Var(w), _) => BuiltinOutcome::Suspend(vec![*w]),
+                    (_, Term::Var(w)) => BuiltinOutcome::Suspend(vec![*w]),
+                    (Term::Int(ix), Term::Tuple(_, slots)) => {
+                        if *ix < 1 || *ix as usize > slots.len() {
+                            bad("put_arg/4", format!("index {ix} out of range"))
+                        } else {
+                            match self.store.deref(v) {
+                                Term::Var(pv) => BuiltinOutcome::Suspend(vec![pv]),
+                                value => match self.store.deref(&slots[*ix as usize - 1]) {
+                                    Term::Var(slot) => {
+                                        self.bind_now(slot, value)?;
+                                        self.bind_or_err(won, Term::atom("yes"))?
+                                    }
+                                    _ => self.bind_or_err(won, Term::atom("no"))?,
+                                },
+                            }
+                        }
+                    }
+                    _ => bad("put_arg/4", "expects integer index and tuple"),
                 }
             }
 

@@ -111,6 +111,145 @@ impl FaultPlan {
     }
 }
 
+/// A seeded wall-clock fault schedule for the parallel backend — the
+/// real-concurrency analogue of [`FaultPlan`].
+///
+/// Where `FaultPlan` speaks virtual time and 1-based node numbers,
+/// `ChaosPlan` speaks worker shards and reduction counts: shard `w` is the
+/// worker thread owning every node `i` with `i % threads == w` (0-based).
+/// Faults act at the worker boundary — a kill tears down a whole shard,
+/// drop/duplicate act on cross-worker batches at the outbox — because that
+/// is the unit of real concurrency. Binding notifications (wakes) are never
+/// dropped or duplicated, mirroring the virtual-time contract that faults
+/// model the network, not the shared store; only remote spawns are fair
+/// game.
+///
+/// Reproducibility caveat: each worker derives its own RNG from `seed`, so
+/// a given *schedule* replays exactly, but thread interleaving still varies
+/// run to run — chaos runs are reproducible in distribution, not
+/// bit-identical (DESIGN.md §8).
+#[derive(Clone, Debug, Default)]
+pub struct ChaosPlan {
+    /// `(shard, R)`: worker `shard` kills its whole shard once the global
+    /// reduction count reaches `R` — run queues dropped, suspensions torn,
+    /// owned nodes marked crashed (a `Partitioned`-style status surfaces if
+    /// work is left stranded). The dead worker keeps draining its channel,
+    /// discarding deliveries, so peers and the quiescence protocol stay
+    /// live.
+    pub kills: Vec<(u32, u64)>,
+    /// Probability an outgoing cross-worker batch has its remote spawns
+    /// dropped at the outbox (wakes in the batch still ship).
+    pub drop_prob: f64,
+    /// Probability an outgoing cross-worker batch has its remote spawns
+    /// duplicated (the copy arrives as a second batch).
+    pub dup_prob: f64,
+    /// `(shard, stall_us)`: inject `stall_us` microseconds of sleep per
+    /// scheduling turn of the shard's drain loop (straggler injection).
+    pub throttles: Vec<(u32, u64)>,
+    /// Seed of the chaos RNG; each worker decorrelates it by index.
+    /// Separate from [`MachineConfig::seed`] so enabling chaos never
+    /// perturbs the program-visible `rand_num` stream.
+    pub seed: u64,
+}
+
+impl ChaosPlan {
+    /// True when the plan injects nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.kills.is_empty()
+            && self.drop_prob <= 0.0
+            && self.dup_prob <= 0.0
+            && self.throttles.is_empty()
+    }
+
+    /// Builder: kill worker `shard`'s whole shard once the global reduction
+    /// count reaches `at_reductions`.
+    pub fn kill(mut self, shard: u32, at_reductions: u64) -> Self {
+        self.kills.push((shard, at_reductions));
+        self
+    }
+
+    /// Builder: drop each outgoing batch's remote spawns with probability `p`.
+    pub fn drop_prob(mut self, p: f64) -> Self {
+        self.drop_prob = p;
+        self
+    }
+
+    /// Builder: duplicate each outgoing batch's remote spawns with
+    /// probability `p`.
+    pub fn dup_prob(mut self, p: f64) -> Self {
+        self.dup_prob = p;
+        self
+    }
+
+    /// Builder: stall worker `shard` for `stall_us` µs per scheduling turn.
+    pub fn throttle(mut self, shard: u32, stall_us: u64) -> Self {
+        self.throttles.push((shard, stall_us));
+        self
+    }
+
+    /// Builder: chaos-RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Parse the CLI chaos spec shared by the example runners:
+    /// `seed=N,kill=shard@reductions,drop=p,dup=p,slow=shard:us`. Every key
+    /// is optional; `kill` and `slow` may repeat. The empty string is the
+    /// empty plan.
+    pub fn parse_spec(spec: &str) -> Result<ChaosPlan, String> {
+        let mut plan = ChaosPlan::default();
+        for part in spec.split(',').filter(|p| !p.is_empty()) {
+            let err = || {
+                format!(
+                    "cannot parse chaos spec element `{part}`; expected a comma list of \
+                     seed=N, kill=shard@reductions, drop=p, dup=p, slow=shard:us"
+                )
+            };
+            let (key, value) = part.split_once('=').ok_or_else(err)?;
+            plan = match key {
+                "seed" => plan.seed(value.parse().map_err(|_| err())?),
+                "drop" => plan.drop_prob(value.parse().map_err(|_| err())?),
+                "dup" => plan.dup_prob(value.parse().map_err(|_| err())?),
+                "kill" => {
+                    let (shard, at) = value.split_once('@').ok_or_else(err)?;
+                    plan.kill(
+                        shard.parse().map_err(|_| err())?,
+                        at.parse().map_err(|_| err())?,
+                    )
+                }
+                "slow" => {
+                    let (shard, us) = value.split_once(':').ok_or_else(err)?;
+                    plan.throttle(
+                        shard.parse().map_err(|_| err())?,
+                        us.parse().map_err(|_| err())?,
+                    )
+                }
+                _ => return Err(err()),
+            };
+        }
+        Ok(plan)
+    }
+
+    /// Earliest kill point scheduled for `shard`, if any.
+    pub fn kill_at(&self, shard: u32) -> Option<u64> {
+        self.kills
+            .iter()
+            .filter(|(s, _)| *s == shard)
+            .map(|(_, at)| *at)
+            .min()
+    }
+
+    /// Injected stall per scheduling turn for `shard`, in microseconds.
+    pub fn stall_us(&self, shard: u32) -> u64 {
+        self.throttles
+            .iter()
+            .filter(|(s, _)| *s == shard)
+            .map(|(_, us)| *us)
+            .sum()
+    }
+}
+
 /// Which execution engine runs the program (see [`crate::backend`]).
 ///
 /// `Deterministic` is the discrete-event simulator this crate implements: a
@@ -176,7 +315,13 @@ pub struct MachineConfig {
     /// action (off by default; tracing costs time and memory).
     pub record_trace: bool,
     /// Deterministic fault schedule (empty by default: a perfect machine).
+    /// Virtual-time only — the parallel backend rejects non-empty plans and
+    /// points at [`MachineConfig::chaos`] instead.
     pub faults: FaultPlan,
+    /// Wall-clock fault schedule for the parallel backend (empty by
+    /// default). The deterministic simulator rejects non-empty plans — use
+    /// [`MachineConfig::faults`] there.
+    pub chaos: ChaosPlan,
     /// Execution engine (default: the deterministic simulator).
     pub backend: Backend,
     /// Rule-execution tier (default: compiled; `Interpreted` is the
@@ -196,6 +341,7 @@ impl Default for MachineConfig {
             fail_fast: true,
             record_trace: false,
             faults: FaultPlan::default(),
+            chaos: ChaosPlan::default(),
             backend: Backend::default(),
             exec: ExecMode::default(),
         }
@@ -232,6 +378,13 @@ impl MachineConfig {
     /// Builder-style fault plan override.
     pub fn faults(mut self, plan: FaultPlan) -> Self {
         self.faults = plan;
+        self
+    }
+
+    /// Builder-style chaos plan override (wall-clock faults; parallel
+    /// backend only).
+    pub fn chaos(mut self, plan: ChaosPlan) -> Self {
+        self.chaos = plan;
         self
     }
 
@@ -318,6 +471,45 @@ mod tests {
         assert_eq!(plan.slowdowns, vec![(3, 4)]);
         assert_eq!(plan.seed, 7);
         assert!((plan.edge_faults(1, 2).drop_prob - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_chaos_plan_is_empty() {
+        assert!(MachineConfig::default().chaos.is_empty());
+        assert!(ChaosPlan::default().is_empty());
+    }
+
+    #[test]
+    fn chaos_plan_builders_chain() {
+        let plan = ChaosPlan::default()
+            .kill(1, 5_000)
+            .kill(1, 2_000)
+            .drop_prob(0.1)
+            .dup_prob(0.05)
+            .throttle(2, 40)
+            .seed(9);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.kill_at(1), Some(2_000));
+        assert_eq!(plan.kill_at(0), None);
+        assert_eq!(plan.stall_us(2), 40);
+        assert_eq!(plan.stall_us(1), 0);
+        assert_eq!(plan.seed, 9);
+        assert!((plan.drop_prob - 0.1).abs() < 1e-12);
+        assert!((plan.dup_prob - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chaos_spec_round_trips_the_builders() {
+        let plan = ChaosPlan::parse_spec("seed=9,kill=1@2000,drop=0.1,dup=0.05,slow=2:40").unwrap();
+        assert_eq!(plan.seed, 9);
+        assert_eq!(plan.kill_at(1), Some(2_000));
+        assert_eq!(plan.stall_us(2), 40);
+        assert!((plan.drop_prob - 0.1).abs() < 1e-12);
+        assert!((plan.dup_prob - 0.05).abs() < 1e-12);
+        assert!(ChaosPlan::parse_spec("").unwrap().is_empty());
+        assert!(ChaosPlan::parse_spec("kill=1").is_err());
+        assert!(ChaosPlan::parse_spec("drop=lots").is_err());
+        assert!(ChaosPlan::parse_spec("nope=1").is_err());
     }
 
     #[test]

@@ -306,6 +306,13 @@ pub struct ShardReport {
     pub suspended_goals: Vec<Term>,
     pub suspended: usize,
     pub trace: Vec<TraceEvent>,
+    /// Nodes of this shard dead at the end of the run (1-based; nonempty
+    /// only under chaos injection).
+    pub crashed_nodes: Vec<u32>,
+    /// Goals lost with this shard's crashed nodes.
+    pub dead: usize,
+    /// Resolved snapshots of lost goals (capped at 16 per shard).
+    pub dead_goals: Vec<Term>,
 }
 
 /// A process suspended on a set of variables.
@@ -1074,8 +1081,15 @@ impl Machine {
         for event in batch {
             match event {
                 Routed::Job(job) => {
-                    let Job { item, node } = job;
+                    let Job { mut item, node } = job;
                     debug_assert!(self.owns(node), "job routed to wrong shard");
+                    // Re-mint the pid into this worker's range: the pid
+                    // prefix is the wake-routing key, so if this job later
+                    // suspends, the binder's wake must route *here* — under
+                    // the sender's pid it would route to the sender, miss,
+                    // and strand the process. Re-minting also gives
+                    // chaos-duplicated jobs distinct identities.
+                    item.pid = self.fresh_pid();
                     if item.tracked {
                         self.metrics.track_spawn(node);
                     }
@@ -1199,6 +1213,12 @@ impl Machine {
         }
     }
 
+    /// True when at least one `'$timer'` deadline is parked waiting for the
+    /// global in-flight gate to settle.
+    pub fn has_deferred_timers(&self) -> bool {
+        !self.deferred_timers.is_empty()
+    }
+
     /// Re-queue parked `'$timer'` deadlines. The worker calls this when the
     /// global in-flight gate reads zero; a timer whose cancel flag arrived
     /// in the meantime evaporates on the next drain.
@@ -1239,6 +1259,143 @@ impl Machine {
         }
     }
 
+    // --- Wall-clock chaos injection (see `config::ChaosPlan`) ------------
+    //
+    // These methods implement the shard-level faults the parallel backend's
+    // workers inject. They mirror the virtual-time fault layer's accounting
+    // exactly: gate units settle so surviving shards' deferred timers can
+    // fire, tracked-process gauges stay balanced, and drops/dups land in
+    // the same metrics counters the simulator uses.
+
+    /// Kill this worker's whole shard: every owned node crashes at once, as
+    /// [`Machine::apply_crash`] does one node at a time — run queues dropped
+    /// (settling the in-flight gate), suspensions torn out of the shared
+    /// store, nodes marked crashed so nothing re-enqueues. The caller must
+    /// keep draining the worker's channel afterwards (discarding deliveries
+    /// via [`Machine::chaos_absorb_dead`]) or peers would park forever.
+    pub fn chaos_kill(&mut self) {
+        let mut killed = 0usize;
+        let mut lost_queue = 0usize;
+        for i in 0..self.nodes.len() {
+            if !self.owns(NodeId(i as u32)) || self.crashed[i] {
+                continue;
+            }
+            self.crashed[i] = true;
+            killed += 1;
+            let node = NodeId(i as u32);
+            let items: Vec<QItem> = self.nodes[i].queue.drain().collect();
+            for item in &items {
+                if !goal_is_timer(&item.goal) {
+                    self.gate_sub(1);
+                }
+                if item.tracked {
+                    self.metrics.track_done(node);
+                }
+                if self.dead_goals.len() < 16 {
+                    self.dead_goals.push(self.store.resolve(&item.goal));
+                }
+            }
+            lost_queue += items.len();
+            self.dead_count += items.len();
+        }
+        // Parked '$timer' deadlines hold no gate units; they die silently.
+        self.deferred_timers.clear();
+        // Every suspension in this table lives on an owned node.
+        let lost_suspended = self.suspended.len();
+        let susps: Vec<(u64, Susp)> = self.suspended.drain().collect();
+        for (pid, susp) in susps {
+            for v in &susp.vars {
+                self.store.remove_waiter(*v, pid);
+            }
+            if susp.tracked {
+                self.metrics.track_done(susp.node);
+            }
+            if self.dead_goals.len() < 16 {
+                self.dead_goals.push(self.store.resolve(&susp.goal));
+            }
+        }
+        self.dead_count += lost_suspended;
+        self.metrics.nodes_crashed += killed as u64;
+        self.metrics.shards_killed += 1;
+        if self.config.record_trace {
+            let time = self.nodes.iter().map(|n| n.clock).max().unwrap_or(0);
+            self.trace.push(TraceEvent::ShardKill {
+                time,
+                worker: self.shard.map_or(0, |(me, _)| me),
+                nodes: killed,
+                lost_queue,
+                lost_suspended,
+            });
+        }
+    }
+
+    /// Discard a batch delivered to a killed shard: settle the gate exactly
+    /// as [`Machine::discard_routed`], counting the lost remote spawns as
+    /// dropped deliveries. Wakes to a dead shard are stale notifications —
+    /// their suspensions died with the shard — and are settled silently.
+    pub fn chaos_absorb_dead(&mut self, batch: Vec<Routed>) {
+        let jobs = batch.iter().filter(|r| matches!(r, Routed::Job(_))).count();
+        self.metrics.msgs_dropped += jobs as u64;
+        self.discard_routed(batch);
+    }
+
+    /// Chaos drop: strip the remote spawns out of an outgoing batch
+    /// (settling their gate units) and leave the wakes intact — binding
+    /// notifications are never dropped, mirroring the virtual-time contract
+    /// that faults model the network, not the shared store (DESIGN.md §8).
+    /// Returns how many spawns were removed.
+    pub fn chaos_drop_jobs(&mut self, batch: &mut Vec<Routed>) -> usize {
+        let mut kept = Vec::with_capacity(batch.len());
+        let mut dropped = 0usize;
+        for event in batch.drain(..) {
+            match event {
+                Routed::Job(job) => {
+                    if !goal_is_timer(&job.item.goal) {
+                        self.gate_sub(1);
+                    }
+                    dropped += 1;
+                }
+                wake @ Routed::Wake { .. } => kept.push(wake),
+            }
+        }
+        *batch = kept;
+        if dropped > 0 {
+            self.metrics.msgs_dropped += dropped as u64;
+            self.metrics.batches_dropped += 1;
+        }
+        dropped
+    }
+
+    /// Chaos duplicate: clone the remote spawns of an outgoing batch into a
+    /// second batch, raising the gate for each copy (the receiver settles
+    /// it when the copy reduces or is discarded). Wakes are never
+    /// duplicated. The receiver re-mints pids on absorption, so each copy
+    /// gets its own process identity. Empty when the batch has no spawns.
+    pub fn chaos_duplicate_jobs(&mut self, batch: &[Routed]) -> Vec<Routed> {
+        let mut dup = Vec::new();
+        for event in batch {
+            if let Routed::Job(job) = event {
+                if !goal_is_timer(&job.item.goal) {
+                    self.gate_add(1);
+                }
+                dup.push(Routed::Job(Job {
+                    item: job.item.clone(),
+                    node: job.node,
+                }));
+            }
+        }
+        if !dup.is_empty() {
+            self.metrics.msgs_duplicated += dup.len() as u64;
+            self.metrics.batches_duplicated += 1;
+        }
+        dup
+    }
+
+    /// Record injected throttle stall time (chaos straggler injection).
+    pub fn note_throttle(&mut self, ns: u64) {
+        self.metrics.throttle_ns += ns;
+    }
+
     /// Snapshot this worker's slice of the final report.
     pub fn finalize_shard(&mut self) -> ShardReport {
         self.metrics.makespan = self.nodes.iter().map(|n| n.clock).max().unwrap_or(0);
@@ -1250,6 +1407,13 @@ impl Machine {
             .map(|s| self.store.resolve(&s.goal))
             .collect();
         suspended_goals.sort_by_key(|t| t.to_string());
+        let crashed_nodes: Vec<u32> = self
+            .crashed
+            .iter()
+            .enumerate()
+            .filter(|(_, &dead)| dead)
+            .map(|(i, _)| i as u32 + 1)
+            .collect();
         ShardReport {
             metrics: self.metrics.clone(),
             output: std::mem::take(&mut self.output),
@@ -1257,6 +1421,9 @@ impl Machine {
             suspended_goals,
             suspended: self.suspended.len(),
             trace: std::mem::take(&mut self.trace),
+            crashed_nodes,
+            dead: self.dead_count,
+            dead_goals: std::mem::take(&mut self.dead_goals),
         }
     }
 
@@ -1670,6 +1837,9 @@ pub fn merge_shard_reports(parts: Vec<ShardReport>, truncated: bool) -> RunRepor
     let mut suspended_goals = Vec::new();
     let mut suspended = 0usize;
     let mut trace = Vec::new();
+    let mut crashed_nodes = Vec::new();
+    let mut dead = 0usize;
+    let mut dead_goals = Vec::new();
     for part in parts {
         match &mut metrics {
             Some(m) => m.merge(&part.metrics),
@@ -1680,11 +1850,23 @@ pub fn merge_shard_reports(parts: Vec<ShardReport>, truncated: bool) -> RunRepor
         suspended_goals.extend(part.suspended_goals);
         suspended += part.suspended;
         trace.extend(part.trace);
+        crashed_nodes.extend(part.crashed_nodes);
+        dead += part.dead;
+        dead_goals.extend(part.dead_goals);
     }
     let metrics = metrics.unwrap_or_else(|| Metrics::new(0));
+    crashed_nodes.sort_unstable();
     let status = if truncated {
         RunStatus::Truncated {
             reductions: metrics.total_reductions,
+        }
+    } else if !crashed_nodes.is_empty() && suspended > 0 {
+        // Same rule as the simulator's `build_report`: survivors stuck with
+        // dead nodes in play means the network partitioned.
+        RunStatus::Partitioned {
+            suspended,
+            dead,
+            crashed_nodes,
         }
     } else if suspended == 0 {
         RunStatus::Completed
@@ -1693,13 +1875,15 @@ pub fn merge_shard_reports(parts: Vec<ShardReport>, truncated: bool) -> RunRepor
     };
     suspended_goals.sort_by_key(|t| t.to_string());
     suspended_goals.truncate(16);
+    dead_goals.sort_by_key(|t| t.to_string());
+    dead_goals.truncate(16);
     RunReport {
         status,
         metrics,
         output,
         errors,
         suspended_goals,
-        dead_goals: Vec::new(),
+        dead_goals,
         trace,
     }
 }

@@ -39,7 +39,11 @@
 //! threads it promises *confluence*: final bindings equal the simulator's,
 //! and `print/1` output and `merge/2` results agree as multisets.
 //! Virtual-time metrics (makespan, busy) are still collected but depend on
-//! the interleaving. Fault injection is rejected. There is no global
+//! the interleaving. Virtual-time fault plans are rejected; wall-clock
+//! fault injection is available instead through
+//! [`strand_machine::ChaosPlan`] — shard kills, outbox batch drop/dup and
+//! drain-loop throttling, all driven by a per-worker seeded RNG (see the
+//! `chaos` items below and DESIGN.md §8). There is no global
 //! virtual clock, so `after_unless/4` deadlines are approximated *lazily*:
 //! a worker defers timer processes while any regular work is pending
 //! anywhere (a shared gate counts it) and fires them only when the system
@@ -75,10 +79,10 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use strand_core::{StrandError, StrandResult};
+use strand_core::{SplitMix64, StrandError, StrandResult};
 use strand_machine::{
-    ast_to_term, merge_shard_reports, Backend, DrainState, ExecBackend, ForeignLib, GoalResult,
-    Machine, MachineConfig, Routed, SharedWorld,
+    ast_to_term, merge_shard_reports, Backend, ChaosPlan, DrainState, ExecBackend, ForeignLib,
+    GoalResult, Machine, MachineConfig, Routed, SharedWorld,
 };
 use strand_parse::{compile_program, parse_term, Program};
 
@@ -117,6 +121,39 @@ struct Shared {
     fatal: Mutex<Option<StrandError>>,
     world: SharedWorld,
     threads: usize,
+    /// Wall-clock fault plan; workers derive their own seeded view of it.
+    chaos: ChaosPlan,
+}
+
+/// One worker's view of the run's [`ChaosPlan`]: its own kill deadline and
+/// stall budget, plus a decorrelated RNG stream for batch drop/dup rolls
+/// (`plan.seed` + a golden-ratio stride per worker, so every worker draws
+/// an independent sequence from one user-facing seed).
+struct WorkerChaos {
+    rng: SplitMix64,
+    kill_at: Option<u64>,
+    stall_us: u64,
+    drop_prob: f64,
+    dup_prob: f64,
+}
+
+impl WorkerChaos {
+    fn new(plan: &ChaosPlan, me: usize) -> WorkerChaos {
+        WorkerChaos {
+            rng: SplitMix64::new(
+                plan.seed
+                    .wrapping_add((me as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            ),
+            kill_at: plan.kill_at(me as u32),
+            stall_us: plan.stall_us(me as u32),
+            drop_prob: plan.drop_prob,
+            dup_prob: plan.dup_prob,
+        }
+    }
+
+    fn injects_batch_faults(&self) -> bool {
+        self.drop_prob > 0.0 || self.dup_prob > 0.0
+    }
 }
 
 /// The multi-threaded engine. Select it with
@@ -172,11 +209,14 @@ fn run_parallel(
     lib: &ForeignLib,
 ) -> StrandResult<GoalResult> {
     if !config.faults.is_empty() {
-        return Err(StrandError::Other(
-            "the parallel backend does not support fault injection; \
-             run fault plans on the deterministic simulator"
+        return Err(StrandError::UnsupportedFaultPlan {
+            backend: "parallel".to_string(),
+            plan: "virtual-time (FaultPlan)".to_string(),
+            hint: "virtual-time fault plans need the deterministic simulator's \
+                   clock; for wall-clock fault injection on this backend use \
+                   MachineConfig::chaos (ChaosPlan)"
                 .to_string(),
-        ));
+        });
     }
     let threads = resolve_threads(&config);
     let goal_ast = parse_term(goal_src).map_err(|e| StrandError::Other(e.to_string()))?;
@@ -217,6 +257,7 @@ fn run_parallel(
         fatal: Mutex::new(None),
         world,
         threads,
+        chaos: config.chaos.clone(),
     });
     // Each worker takes its machine out of a slot and puts it back on exit
     // so the shard reports can be merged after the join.
@@ -271,6 +312,7 @@ fn run_parallel(
 /// batching and quiescence rules.
 fn worker_loop(shared: &Shared, me: usize, rx: &Receiver<Msg>, m: &mut Machine) {
     let mut buffers: Vec<Vec<Routed>> = (0..shared.threads).map(|_| Vec::new()).collect();
+    let mut chaos = WorkerChaos::new(&shared.chaos, me);
     loop {
         if shared.stopping.load(Ordering::Acquire) {
             // Fatal error, budget exhaustion or quiescence: settle the
@@ -280,6 +322,30 @@ fn worker_loop(shared: &Shared, me: usize, rx: &Receiver<Msg>, m: &mut Machine) 
                 m.discard_routed(std::mem::take(buf));
             }
             return;
+        }
+        // Chaos: kill this shard once the global reduction count passes the
+        // plan's deadline. Events already emitted are "in the network" —
+        // flush them faithfully (a wake buffered here may be the only
+        // notification for a binding already durable in the shared store) —
+        // then tear the shard down and switch to the dead-shard protocol.
+        if chaos
+            .kill_at
+            .is_some_and(|at| shared.world.reductions() >= at)
+        {
+            for r in m.take_outbox() {
+                buffers[r.dest_worker(shared.threads)].push(r);
+            }
+            flush_all(shared, &mut chaos, m, &mut buffers);
+            m.chaos_kill();
+            dead_loop(shared, rx, m);
+            return;
+        }
+        // Chaos: a throttled shard stalls before every scheduling turn,
+        // modelling a straggler core. Liveness is untouched — the worker
+        // still holds its quiescence token while stalled.
+        if chaos.stall_us > 0 {
+            std::thread::sleep(Duration::from_micros(chaos.stall_us));
+            m.note_throttle(chaos.stall_us.saturating_mul(1_000));
         }
         // 1. Reduce a bounded burst of the shard's own work.
         let state = match m.drain_local(DRAIN_STEPS) {
@@ -295,7 +361,8 @@ fn worker_loop(shared: &Shared, me: usize, rx: &Receiver<Msg>, m: &mut Machine) 
             debug_assert_ne!(w, me, "own-shard events never reach the outbox");
             buffers[w].push(r);
             if buffers[w].len() >= BATCH_MAX {
-                send_batch(shared, w, std::mem::take(&mut buffers[w]));
+                let batch = std::mem::take(&mut buffers[w]);
+                ship_batch(shared, &mut chaos, m, w, batch);
             }
         }
         // 3. Absorb whatever peers sent meanwhile (non-blocking).
@@ -313,7 +380,16 @@ fn worker_loop(shared: &Shared, me: usize, rx: &Receiver<Msg>, m: &mut Machine) 
             }
         }
         match state {
-            DrainState::More => {}
+            DrainState::More => {
+                // A shard that stays busy (a supervision beat loop, say)
+                // never reports `TimersOnly`, so deadlines parked while a
+                // wake was in flight would starve forever. Release them the
+                // moment the gate reads zero — each is re-checked against
+                // the gate when popped, so an early release is harmless.
+                if m.has_deferred_timers() && shared.world.regular_pending() == 0 {
+                    m.release_timers();
+                }
+            }
             DrainState::Budget => {
                 // Budget exhausted without fail-fast: truncate the run.
                 if !shared.truncated.swap(true, Ordering::AcqRel) {
@@ -328,7 +404,7 @@ fn worker_loop(shared: &Shared, me: usize, rx: &Receiver<Msg>, m: &mut Machine) 
                 // Deferred deadlines only fire once no regular work is
                 // pending anywhere — including in our own unsent buffers,
                 // so flush before consulting the shared gate.
-                flush_all(shared, &mut buffers);
+                flush_all(shared, &mut chaos, m, &mut buffers);
                 if shared.world.regular_pending() == 0 {
                     m.release_timers();
                 } else {
@@ -341,7 +417,7 @@ fn worker_loop(shared: &Shared, me: usize, rx: &Receiver<Msg>, m: &mut Machine) 
                 if received {
                     continue;
                 }
-                flush_all(shared, &mut buffers);
+                flush_all(shared, &mut chaos, m, &mut buffers);
                 // Last non-blocking look before surrendering the token.
                 match rx.try_recv() {
                     Ok(Msg::Batch(batch)) => {
@@ -369,6 +445,72 @@ fn worker_loop(shared: &Shared, me: usize, rx: &Receiver<Msg>, m: &mut Machine) 
     }
 }
 
+/// A dead shard must keep the quiescence protocol honest even though it
+/// will never reduce again: batches still in flight towards it carry
+/// tokens, and discarding their contents without absorbing those tokens
+/// (or without settling the timer gate for the jobs inside) would either
+/// stall termination forever or fire peers' timers early. The loop mirrors
+/// the `Idle` arm of [`worker_loop`]: absorb-and-discard, then try to
+/// release our own token, then park.
+fn dead_loop(shared: &Shared, rx: &Receiver<Msg>, m: &mut Machine) {
+    loop {
+        if shared.stopping.load(Ordering::Acquire) {
+            return;
+        }
+        loop {
+            match rx.try_recv() {
+                Ok(Msg::Batch(batch)) => {
+                    shared.tokens.absorb();
+                    m.chaos_absorb_dead(batch);
+                }
+                Ok(Msg::Stop) => return,
+                Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
+            }
+        }
+        if shared.tokens.release() {
+            stop(shared);
+            return;
+        }
+        match rx.recv() {
+            // The batch's token became ours on arrival; the loop top
+            // releases it again after discarding the contents.
+            Ok(Msg::Batch(batch)) => m.chaos_absorb_dead(batch),
+            Ok(Msg::Stop) | Err(_) => return,
+        }
+    }
+}
+
+/// Ship one batch through the worker's chaos filter: with probability
+/// `drop_prob` its jobs are discarded at the outbox (wakes always ship —
+/// a lost wake is unrecoverable for the motif, mirroring the virtual-time
+/// contract), with probability `dup_prob` its jobs ship twice. One roll
+/// per batch; the copies get fresh pids on absorption (see
+/// `Machine::absorb`), so a duplicate is a genuinely distinct delivery.
+fn ship_batch(
+    shared: &Shared,
+    chaos: &mut WorkerChaos,
+    m: &mut Machine,
+    w: usize,
+    batch: Vec<Routed>,
+) {
+    let mut batch = batch;
+    if chaos.injects_batch_faults() {
+        let roll = chaos.rng.next_f64();
+        if roll < chaos.drop_prob {
+            m.chaos_drop_jobs(&mut batch);
+            if batch.is_empty() {
+                return; // nothing left to ship; no token minted
+            }
+        } else if roll < chaos.drop_prob + chaos.dup_prob {
+            let dup = m.chaos_duplicate_jobs(&batch);
+            if !dup.is_empty() {
+                send_batch(shared, w, dup);
+            }
+        }
+    }
+    send_batch(shared, w, batch);
+}
+
 /// Mint the batch's quiescence token and ship it. The increment MUST
 /// precede the send: see `quiesce.rs` for the model-checked argument.
 fn send_batch(shared: &Shared, w: usize, batch: Vec<Routed>) {
@@ -380,10 +522,16 @@ fn send_batch(shared: &Shared, w: usize, batch: Vec<Routed>) {
     }
 }
 
-fn flush_all(shared: &Shared, buffers: &mut [Vec<Routed>]) {
+fn flush_all(
+    shared: &Shared,
+    chaos: &mut WorkerChaos,
+    m: &mut Machine,
+    buffers: &mut [Vec<Routed>],
+) {
     for (w, buf) in buffers.iter_mut().enumerate() {
         if !buf.is_empty() {
-            send_batch(shared, w, std::mem::take(buf));
+            let batch = std::mem::take(buf);
+            ship_batch(shared, chaos, m, w, batch);
         }
     }
 }
@@ -439,7 +587,135 @@ mod tests {
     fn fault_plans_are_rejected() {
         let cfg = par(2).faults(strand_machine::FaultPlan::default().crash(1, 100));
         let err = run_goal("go.", "go", cfg).unwrap_err();
-        assert!(err.to_string().contains("fault"), "{err}");
+        assert!(
+            matches!(err, StrandError::UnsupportedFaultPlan { .. }),
+            "{err}"
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("fault"), "{msg}");
+        // The hint must steer the user to the wall-clock analogue.
+        assert!(msg.contains("ChaosPlan"), "{msg}");
+    }
+
+    #[test]
+    fn routed_suspension_wakes_across_workers() {
+        // A job routed to another worker that suspends THERE must be woken
+        // by a later binding from the sending worker. Suspensions are keyed
+        // by pid, and pids carry their minting worker in the top bits — so
+        // `Machine::absorb` re-mints them on arrival; without that the wake
+        // would route back to the *sender* and be dropped, stranding the
+        // process. The fan(40) padding overflows BATCH_MAX so p(X) ships
+        // early, while slow/2 keeps X unbound long enough for p(X) to
+        // suspend on worker 1 first.
+        let src = r#"
+            go :- fan(40), p(X)@2, bind(X).
+            fan(0).
+            fan(N) :- N > 0 | noop@2, M := N - 1, fan(M).
+            noop.
+            p(a) :- print(got).
+            bind(X) :- slow(5000, X).
+            slow(0, X) :- X := a.
+            slow(N, X) :- N > 0 | M := N - 1, slow(M, X).
+        "#;
+        let mut cfg = par(2);
+        cfg.max_reductions = 1_000_000;
+        let r = run_goal(src, "go", cfg).unwrap();
+        assert!(
+            matches!(r.report.status, RunStatus::Completed),
+            "{:?}",
+            r.report.status
+        );
+        assert_eq!(r.report.output, vec!["got".to_string()]);
+    }
+
+    #[test]
+    fn chaos_kill_partitions_the_run() {
+        // Shard 1 dies before it ever reduces; the spawn routed to node 2
+        // is discarded by the dead-shard loop, V stays unbound, and the
+        // waiter on shard 0 suspends forever. The merged status must say
+        // *why*: crashed nodes alongside the live suspension.
+        let src = r#"
+            go(V) :- set(V)@2, wait(V).
+            set(V) :- V := ok.
+            wait(V) :- V == ok | true.
+        "#;
+        let mut cfg = par(2).chaos(strand_machine::ChaosPlan::default().kill(1, 0));
+        cfg.fail_fast = false;
+        let r = run_goal(src, "go(V)", cfg).unwrap();
+        match r.report.status {
+            RunStatus::Partitioned {
+                suspended,
+                crashed_nodes,
+                ..
+            } => {
+                assert!(suspended >= 1);
+                // Worker 1 owns nodes 2 and 4 (1-based) at 2 threads.
+                assert_eq!(crashed_nodes, vec![2, 4]);
+            }
+            ref s => panic!("expected Partitioned, got {s:?}"),
+        }
+        assert_eq!(r.report.metrics.shards_killed, 1);
+        assert!(r.report.metrics.msgs_dropped >= 1);
+    }
+
+    #[test]
+    fn chaos_drop_discards_jobs_but_terminates() {
+        // Every batch is dropped: the leaves routed to worker 1 never run,
+        // but nobody waits on their results, so the run still quiesces —
+        // proof that dropped jobs settle both the timer gate and the
+        // quiescence tokens.
+        let src = r#"
+            fan(A, B) :- leaf(10, A)@2, leaf(20, B)@4.
+            leaf(X, Y) :- Y := X + 1.
+        "#;
+        let cfg = par(2).chaos(strand_machine::ChaosPlan::default().drop_prob(1.0).seed(7));
+        let r = run_goal(src, "fan(A, B)", cfg).unwrap();
+        assert!(
+            matches!(r.report.status, RunStatus::Completed),
+            "{:?}",
+            r.report.status
+        );
+        assert_eq!(r.report.metrics.msgs_dropped, 2);
+        assert!(r.report.metrics.batches_dropped >= 1);
+        // The dropped leaves never bound their outputs.
+        assert_ne!(r.bindings["A"].to_string(), "11");
+    }
+
+    #[test]
+    fn chaos_duplicate_delivers_twice_with_distinct_pids() {
+        // Every batch ships twice. ack/2-style idempotent bind: both copies
+        // run `set(V)`, the first binds, the second's bind must not crash
+        // the run — ack/1 tolerates the rebind.
+        let src = r#"
+            go(V) :- set(V)@2.
+            set(V) :- ack(V).
+            ack(V) :- unknown(V) | V := ok.
+            ack(ok).
+        "#;
+        let cfg = par(2).chaos(strand_machine::ChaosPlan::default().dup_prob(1.0).seed(11));
+        let r = run_goal(src, "go(V)", cfg).unwrap();
+        assert!(
+            matches!(r.report.status, RunStatus::Completed),
+            "{:?}",
+            r.report.status
+        );
+        assert_eq!(r.bindings["V"].to_string(), "ok");
+        assert!(r.report.metrics.msgs_duplicated >= 1);
+        assert!(r.report.metrics.batches_duplicated >= 1);
+    }
+
+    #[test]
+    fn chaos_throttle_is_recorded_and_harmless() {
+        let src = r#"
+            fan(A, B, C, D) :-
+                leaf(10, A)@1, leaf(20, B)@2, leaf(30, C)@3, leaf(40, D)@0.
+            leaf(X, Y) :- Y := X + 1.
+        "#;
+        let cfg = par(2).chaos(strand_machine::ChaosPlan::default().throttle(1, 100));
+        let r = run_goal(src, "fan(A, B, C, D)", cfg).unwrap();
+        assert!(matches!(r.report.status, RunStatus::Completed));
+        assert_eq!(r.bindings["B"].to_string(), "21");
+        assert!(r.report.metrics.throttle_ns > 0);
     }
 
     #[test]

@@ -212,6 +212,206 @@ mod model {
         Ok(seen.len())
     }
 
+    /// Worker states for the *crash-point* variant of the model: any worker
+    /// may be killed at a safe point (never mid-send — the implementation
+    /// checks the kill deadline only at the loop top, after every
+    /// `tokens.add()`/send pair has completed), after which it follows the
+    /// dead-shard protocol of `dead_loop`: discard arriving batches while
+    /// absorbing their tokens, surrender its own token, park, adopt tokens
+    /// of later arrivals and surrender those too.
+    #[derive(Clone, PartialEq, Eq, Hash)]
+    enum C {
+        Busy {
+            sends_left: u8,
+            mid_send: Option<u8>,
+        },
+        Parked,
+        /// Killed shard. `holds_token` is true while it still owes the
+        /// counter a `release` for a token it holds.
+        Dead {
+            holds_token: bool,
+        },
+        Done,
+    }
+
+    #[derive(Clone, PartialEq, Eq, Hash)]
+    struct ChaosState {
+        tokens: u64,
+        queues: Vec<u8>,
+        workers: Vec<C>,
+        /// At most one shard dies per run — bounds the state space and
+        /// matches the conformance tier's single-kill plans.
+        crashed: bool,
+    }
+
+    /// Crash-point exploration: like [`check`] but any worker may die at
+    /// any safe point. Two invariants:
+    ///
+    /// 1. *No early announce* — quiescence is never declared while a batch
+    ///    is unreceived or a peer is busy (same as [`check`]).
+    /// 2. *No stuck state* — every terminal state (no transitions) has all
+    ///    workers `Done`, i.e. the quiescence token is not lost with the
+    ///    dead shard and termination is still announced.
+    ///
+    /// `dead_absorbs` picks the protocol variant: `true` is the shipped
+    /// dead-shard loop (discarding a batch still absorbs its token);
+    /// `false` seeds the bug where a dead worker drops batches without
+    /// absorbing tokens — the orphaned token must then be caught as a
+    /// stuck state, proving the checker can see that failure mode.
+    fn check_chaos(threads: usize, sends_each: u8, dead_absorbs: bool) -> Result<usize, String> {
+        let init = ChaosState {
+            tokens: threads as u64,
+            queues: vec![0; threads],
+            workers: vec![
+                C::Busy {
+                    sends_left: sends_each,
+                    mid_send: None
+                };
+                threads
+            ],
+            crashed: false,
+        };
+        let mut seen = HashSet::new();
+        let mut stack = vec![init];
+        while let Some(s) = stack.pop() {
+            if !seen.insert(s.clone()) {
+                continue;
+            }
+            let before = stack.len();
+            for i in 0..threads {
+                match s.workers[i].clone() {
+                    C::Done => {}
+                    C::Busy {
+                        sends_left,
+                        mid_send: Some(to),
+                    } => {
+                        let mut n = s.clone();
+                        n.queues[to as usize] += 1;
+                        n.workers[i] = C::Busy {
+                            sends_left,
+                            mid_send: None,
+                        };
+                        stack.push(n);
+                    }
+                    C::Busy {
+                        sends_left,
+                        mid_send: None,
+                    } => {
+                        // Crash point: the kill check at the loop top. The
+                        // shard's remaining sends die with it (chaos_kill
+                        // drops the run queues); its busy token survives
+                        // and must still be surrendered through release.
+                        if !s.crashed {
+                            let mut n = s.clone();
+                            n.crashed = true;
+                            n.workers[i] = C::Dead { holds_token: true };
+                            stack.push(n);
+                        }
+                        if sends_left > 0 {
+                            for to in (0..threads).filter(|&to| to != i) {
+                                let mut n = s.clone();
+                                n.tokens += 1; // inc BEFORE send
+                                n.workers[i] = C::Busy {
+                                    sends_left: sends_left - 1,
+                                    mid_send: Some(to as u8),
+                                };
+                                stack.push(n);
+                            }
+                        }
+                        if s.queues[i] > 0 {
+                            let mut n = s.clone();
+                            n.queues[i] -= 1;
+                            n.tokens -= 1;
+                            stack.push(n);
+                        }
+                        let mut n = s.clone();
+                        n.tokens -= 1;
+                        if n.tokens == 0 {
+                            let unreceived: u8 = n.queues.iter().sum();
+                            let busy_peer = (0..threads)
+                                .any(|j| j != i && matches!(n.workers[j], C::Busy { .. }));
+                            if unreceived > 0 || busy_peer {
+                                return Err(format!(
+                                    "worker {i} announced quiescence with \
+                                     {unreceived} unreceived batch(es), busy peer: {busy_peer}"
+                                ));
+                            }
+                            for w in &mut n.workers {
+                                *w = C::Done;
+                            }
+                        } else {
+                            n.workers[i] = C::Parked;
+                        }
+                        stack.push(n);
+                    }
+                    C::Parked => {
+                        if s.queues[i] > 0 {
+                            let mut n = s.clone();
+                            n.queues[i] -= 1;
+                            n.workers[i] = C::Busy {
+                                sends_left: 1,
+                                mid_send: None,
+                            };
+                            stack.push(n);
+                        }
+                    }
+                    C::Dead { holds_token: true } => {
+                        // Drain-and-discard an arriving batch.
+                        if s.queues[i] > 0 {
+                            let mut n = s.clone();
+                            n.queues[i] -= 1;
+                            if dead_absorbs {
+                                n.tokens -= 1;
+                            }
+                            stack.push(n);
+                        }
+                        // Surrender the held token; the dead worker may be
+                        // the one to observe and announce quiescence.
+                        let mut n = s.clone();
+                        n.tokens -= 1;
+                        if n.tokens == 0 {
+                            let unreceived: u8 = n.queues.iter().sum();
+                            let busy_peer = (0..threads)
+                                .any(|j| j != i && matches!(n.workers[j], C::Busy { .. }));
+                            if unreceived > 0 || busy_peer {
+                                return Err(format!(
+                                    "dead worker {i} announced quiescence with \
+                                     {unreceived} unreceived batch(es), busy peer: {busy_peer}"
+                                ));
+                            }
+                            for w in &mut n.workers {
+                                *w = C::Done;
+                            }
+                        } else {
+                            n.workers[i] = C::Dead { holds_token: false };
+                        }
+                        stack.push(n);
+                    }
+                    C::Dead { holds_token: false } => {
+                        // Parked-dead: adopt an arriving batch's token (no
+                        // counter change), discard its contents; the loop
+                        // top will release the adopted token.
+                        if s.queues[i] > 0 {
+                            let mut n = s.clone();
+                            n.queues[i] -= 1;
+                            n.workers[i] = C::Dead { holds_token: true };
+                            stack.push(n);
+                        }
+                    }
+                }
+            }
+            // Terminal-state check: nothing pushed ⇒ no transitions.
+            if stack.len() == before && !s.workers.iter().all(|w| matches!(w, C::Done)) {
+                return Err(format!(
+                    "stuck state: tokens={}, {} unreceived batch(es), run never terminates",
+                    s.tokens,
+                    s.queues.iter().map(|&q| q as u64).sum::<u64>(),
+                ));
+            }
+        }
+        Ok(seen.len())
+    }
+
     #[test]
     fn inc_before_send_never_announces_early_2_workers() {
         let states = check(2, 3, true).expect("protocol invariant");
@@ -230,6 +430,29 @@ mod model {
         // tests above prove nothing about the checker's power.
         let err = check(2, 2, false).expect_err("broken variant must announce early");
         assert!(err.contains("announced quiescence"), "{err}");
+    }
+
+    #[test]
+    fn crash_points_preserve_quiescence_2_workers() {
+        let states = check_chaos(2, 3, true).expect("dead-shard protocol invariant");
+        assert!(states > 100, "trivial state space: {states}");
+    }
+
+    #[test]
+    fn crash_points_preserve_quiescence_3_workers() {
+        let states = check_chaos(3, 2, true).expect("dead-shard protocol invariant");
+        assert!(states > 1000, "trivial state space: {states}");
+    }
+
+    #[test]
+    fn checker_catches_dead_shard_dropping_tokens() {
+        // A dead worker that discards batches WITHOUT absorbing their
+        // tokens orphans a token forever: the counter can never reach
+        // zero and the run never terminates. The checker must see that
+        // as a stuck state — otherwise the two passing tests above prove
+        // nothing about its power over the dead-shard protocol.
+        let err = check_chaos(2, 2, false).expect_err("token-dropping bug must be caught");
+        assert!(err.contains("stuck state"), "{err}");
     }
 
     #[test]

@@ -5,7 +5,8 @@
 //! ```sh
 //! cargo run --example run_strand -- <file> <goal> [nodes] [seed] \
 //!     [--trace] [--stats] [--backend sim|parallel] [--threads N] \
-//!     [--exec compiled|interpreted]
+//!     [--exec compiled|interpreted] \
+//!     [--chaos seed=N,kill=shard@reductions,drop=p,dup=p,slow=shard:us]
 //! # e.g.
 //! echo 'double(X, Y) :- Y := X * 2.' > /tmp/d.str
 //! cargo run --example run_strand -- /tmp/d.str 'double(21, V)'
@@ -20,7 +21,7 @@
 //! With no arguments it runs a built-in demo (the paper's Figure 1).
 
 use algorithmic_motifs::strand_machine::{
-    render_trace, run_goal, trace_summary, ExecMode, MachineConfig, RunStatus,
+    render_trace, run_goal, trace_summary, ChaosPlan, ExecMode, MachineConfig, RunStatus,
 };
 
 const DEMO: &str = r#"
@@ -33,6 +34,13 @@ producer(0, Xs, _) :- Xs := [].
 consumer([X|Xs]) :- X := sync, consumer(Xs).
 consumer([]).
 "#;
+
+fn parse_chaos(spec: &str) -> ChaosPlan {
+    ChaosPlan::parse_spec(spec).unwrap_or_else(|e| {
+        eprintln!("--chaos: {e}");
+        std::process::exit(2);
+    })
+}
 
 fn take_flag_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
     let i = args.iter().position(|a| a == flag)?;
@@ -56,6 +64,11 @@ fn main() {
         .map(|v| v.parse().expect("--threads wants a number"))
         .unwrap_or(0);
     let exec_arg = take_flag_value(&mut args, "--exec").unwrap_or_else(|| "compiled".to_string());
+    let chaos = take_flag_value(&mut args, "--chaos").map(|spec| parse_chaos(&spec));
+    if chaos.is_some() && backend != "parallel" {
+        eprintln!("--chaos injects wall-clock faults; it requires --backend parallel");
+        std::process::exit(2);
+    }
     if !matches!(backend.as_str(), "sim" | "parallel") {
         eprintln!("--backend must be `sim` (deterministic) or `parallel`, got `{backend}`");
         std::process::exit(2);
@@ -85,7 +98,8 @@ fn main() {
             eprintln!(
                 "usage: run_strand <file> <goal> [nodes] [seed] \
                  [--trace] [--stats] [--backend sim|parallel] [--threads N] \
-                 [--exec compiled|interpreted]"
+                 [--exec compiled|interpreted] \
+                 [--chaos seed=N,kill=shard@reductions,drop=p,dup=p,slow=shard:us]"
             );
             std::process::exit(2);
         }
@@ -108,6 +122,11 @@ fn main() {
     if backend == "parallel" {
         algorithmic_motifs::strand_parallel::install();
         config = config.parallel(threads);
+    }
+    if let Some(plan) = chaos {
+        // Faults make failure normal: keep partial results reportable.
+        config = config.chaos(plan);
+        config.fail_fast = false;
     }
     let result = run_goal(&source, &goal, config);
     match result {
@@ -162,6 +181,24 @@ fn main() {
                     );
                 } else {
                     println!("first-arg index: no keyed rules probed");
+                }
+                if m.shards_killed > 0
+                    || m.batches_dropped > 0
+                    || m.batches_duplicated > 0
+                    || m.throttle_ns > 0
+                    || m.supervisor_restarts > 0
+                {
+                    println!("chaos:");
+                    println!("  shards killed: {}", m.shards_killed);
+                    println!(
+                        "  batches dropped: {} ({} spawns) | duplicated: {} ({} spawns)",
+                        m.batches_dropped, m.msgs_dropped, m.batches_duplicated, m.msgs_duplicated
+                    );
+                    println!(
+                        "  throttle stalls: {:.2} ms | supervisor restarts: {}",
+                        m.throttle_ns as f64 / 1e6,
+                        m.supervisor_restarts
+                    );
                 }
                 if !m.susp_by_proc.is_empty() {
                     let mut by_proc: Vec<(&str, u64)> = m

@@ -31,7 +31,7 @@ use algorithmic_motifs::motifs::{
     tree_reduce_2, ARITH_EVAL,
 };
 use algorithmic_motifs::strand_core::Term;
-use algorithmic_motifs::strand_machine::{run_parsed_goal, GoalResult, MachineConfig};
+use algorithmic_motifs::strand_machine::{run_parsed_goal, ChaosPlan, GoalResult, MachineConfig};
 use algorithmic_motifs::strand_parallel;
 use bench::{FIGURE2_HANDWRITTEN, PAPER_TREE, RING_APP};
 use proptest::prelude::*;
@@ -448,7 +448,176 @@ fn conform_supervise_ring() {
 }
 
 // ---------------------------------------------------------------------------
-// Satellite 3: random fault-free programs conform across seeds
+// Chaos tier: supervised programs under wall-clock fault injection
+// ---------------------------------------------------------------------------
+
+/// Pick a kill deadline that lands mid-run: a clean run's reduction count
+/// scaled down. `kill_at` triggers on the *global* reduction counter, so it
+/// is a progress trigger, not a timer — by the time it fires the supervised
+/// network has necessarily made that much progress (bootstrap included),
+/// and the chaos run always reaches it (faults only add reductions).
+fn mid_run_kill_at(
+    program: &strand_parse::Program,
+    goal: &str,
+    cfg: &MachineConfig,
+    threads: u32,
+) -> u64 {
+    let clean = run_parsed_goal(program, goal, cfg.clone().parallel(threads))
+        .unwrap_or_else(|e| panic!("clean calibration run: {e}"));
+    (clean.report.metrics.total_reductions / 3).max(1)
+}
+
+/// The chaos acceptance scenario, ring half: the `Supervise ∘ Server ∘
+/// Rand` ring must still visit every server when one worker shard is
+/// killed mid-run on top of 10% batch drop and 5% duplication. Recovery is
+/// wall-clock real: the dead shard's servers restart from their durable
+/// wires on the monitors' (surviving) nodes.
+#[test]
+fn chaos_supervised_ring_survives_kill_drop_dup() {
+    strand_parallel::install();
+    let program = motifs::supervised_random().apply_src(RING_APP).unwrap();
+    let goal = "create(8, token(1))";
+    let base = MachineConfig::with_nodes(8).seed(47);
+    let expected: Vec<String> = (1..=8).map(|k| k.to_string()).collect();
+    for threads in [2u32, 4, 8] {
+        let kill_at = mid_run_kill_at(&program, goal, &base, threads);
+        let mut cfg = base.clone().parallel(threads).chaos(
+            ChaosPlan::default()
+                .kill(1, kill_at)
+                .drop_prob(0.10)
+                .dup_prob(0.05)
+                .seed(61),
+        );
+        cfg.fail_fast = false;
+        // A recovery regression diverges (beat loops mint variables without
+        // bound); a modest budget turns that into `Truncated` + a readable
+        // assertion instead of a variable-space panic.
+        cfg.max_reductions = 2_000_000;
+        let r = run_parsed_goal(&program, goal, cfg)
+            .unwrap_or_else(|e| panic!("chaos ring at {threads} threads: {e}"));
+        assert_eq!(
+            r.report.metrics.shards_killed, 1,
+            "the kill must land at {threads} threads (kill_at={kill_at})"
+        );
+        let mut distinct = sorted(&r.report.output);
+        distinct.dedup();
+        assert_eq!(
+            distinct, expected,
+            "token must visit every server at {threads} threads despite the \
+             dead shard; status {:?}, errors {:?}",
+            r.report.status, r.report.errors
+        );
+        assert!(
+            !matches!(
+                r.report.status,
+                algorithmic_motifs::strand_machine::RunStatus::Truncated { .. }
+            ),
+            "chaos must not exhaust the budget: {:?}",
+            r.report.status
+        );
+    }
+}
+
+/// The chaos acceptance scenario, task half: a supervised task scheduler
+/// (Supervise ∘ Server ∘ Sched) completing a fan of idempotent tasks. The
+/// tasks acknowledge into test-and-set slots (`arg/3` + `ack/1`), per the
+/// Supervise contract that handlers tolerate replay — so a killed worker
+/// shard, replayed wires and duplicated submissions must still fill every
+/// slot exactly to `ok`.
+#[test]
+fn chaos_supervised_task_sched_reaches_answers() {
+    strand_parallel::install();
+    let app = r#"
+        gen(0, _).
+        gen(N, T) :- N > 0 |
+            cost(N, C),
+            mark(C, N, T)@task,
+            N1 := N - 1,
+            gen(N1, T).
+        cost(N, C) :- M := N mod 7, C := 5 + M * M.
+        mark(C, N, T) :- work(C), arg(N, T, S), ack(S).
+    "#;
+    let program = motifs::supervise()
+        .compose(&motifs::task_scheduler_with_entries(&[("gen", 2)]))
+        .apply_src(app)
+        .unwrap();
+    let goal = motifs::boot_goal(9, "gen", &["8", "t(S1, S2, S3, S4, S5, S6, S7, S8)"]);
+    let base = MachineConfig::with_nodes(9).seed(53);
+    for threads in [2u32, 4, 8] {
+        let kill_at = mid_run_kill_at(&program, &goal, &base, threads);
+        let mut cfg = base.clone().parallel(threads).chaos(
+            ChaosPlan::default()
+                .kill(1, kill_at)
+                .drop_prob(0.10)
+                .dup_prob(0.05)
+                .seed(67),
+        );
+        cfg.fail_fast = false;
+        cfg.max_reductions = 2_000_000;
+        let r = run_parsed_goal(&program, &goal, cfg)
+            .unwrap_or_else(|e| panic!("chaos task_sched at {threads} threads: {e}"));
+        assert_eq!(
+            r.report.metrics.shards_killed, 1,
+            "the kill must land at {threads} threads (kill_at={kill_at})"
+        );
+        for slot in ["S1", "S2", "S3", "S4", "S5", "S6", "S7", "S8"] {
+            assert_eq!(
+                r.bindings[slot].to_string(),
+                "ok",
+                "task {slot} must be applied at {threads} threads; status {:?}, \
+                 errors {:?}",
+                r.report.status,
+                r.report.errors
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Satellite 3: acked sends apply exactly once under duplicated batches
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Supervise's retry/backoff against wall-clock batch duplication:
+    /// every duplicated spawn batch is re-delivered with fresh pids, yet
+    /// the sequence-numbered envelopes and the test-and-set bootstrap must
+    /// keep *application* effects exactly-once. Absent a supervisor
+    /// restart (none is triggered without a kill — heartbeats ride
+    /// reliable wakes), each token must print exactly once; with one, the
+    /// replay may legally repeat a print but never lose one.
+    #[test]
+    fn duplicated_batches_keep_acked_sends_exactly_once(
+        chaos_seed in 0u64..10_000,
+        threads_ix in 0usize..3,
+    ) {
+        let threads = [2u32, 4, 8][threads_ix];
+        strand_parallel::install();
+        let program = motifs::supervised_server().apply_src(RING_APP).unwrap();
+        let goal = "create(4, token(1))";
+        let mut cfg = MachineConfig::with_nodes(4)
+            .seed(47)
+            .parallel(threads)
+            .chaos(ChaosPlan::default().dup_prob(0.75).seed(chaos_seed));
+        cfg.fail_fast = false;
+        let r = run_parsed_goal(&program, goal, cfg).unwrap();
+        let expected: Vec<String> = (1..=4).map(|k| k.to_string()).collect();
+        let mut distinct = sorted(&r.report.output);
+        distinct.dedup();
+        prop_assert_eq!(&distinct, &expected, "every token must arrive");
+        if r.report.metrics.supervisor_restarts == 0 {
+            prop_assert_eq!(
+                sorted(&r.report.output),
+                expected,
+                "exactly-once violated without any restart"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Satellite 3 (cont.): random fault-free programs conform across seeds
 // ---------------------------------------------------------------------------
 
 proptest! {
