@@ -148,6 +148,58 @@ fn main() {
         }
         return;
     }
+    if args.first().map(String::as_str) == Some("serve-json") {
+        // C-series: the resident service under concurrent TCP load.
+        // `--quick` runs small bursts for CI smoke; the full run's top
+        // burst is 1000 concurrent clients. `--require-cores` refuses to
+        // record on a single-core host, mirroring the B-series recorder
+        // (loss/residency hold anywhere, but latency recorded there is
+        // scheduling noise).
+        let quick = args.iter().any(|a| a == "--quick");
+        let require_cores = args.iter().any(|a| a == "--require-cores");
+        let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+        if host <= 1 {
+            if require_cores {
+                eprintln!(
+                    "error: refusing to record the serve series on a single-core \
+                     host (--require-cores); latencies there measure thread \
+                     scheduling, not the service"
+                );
+                std::process::exit(3);
+            }
+            eprintln!(
+                "WARNING: single-core host — serve latencies below are dominated \
+                 by scheduling; the snapshot is annotated host_parallelism: 1"
+            );
+        }
+        let path = args
+            .get(1)
+            .filter(|a| !a.starts_with("--"))
+            .map(String::as_str)
+            .unwrap_or("out/BENCH_serve.json");
+        ensure_parent(path);
+        let points = bench::c1_serve(quick);
+        let json = bench::render_serve_json(&points);
+        std::fs::write(path, &json).expect("write serve bench json");
+        print!("{json}");
+        for p in &points {
+            eprintln!(
+                "{:>5} clients × {:>2} req: {:>6}/{:<6} ok ({} lost), p50 {:>7} µs, \
+                 p99 {:>8} µs, {:>9.1} req/s, {} parks, {} reclaimed",
+                p.clients,
+                p.requests / p.clients.max(1),
+                p.completed,
+                p.requests,
+                p.lost,
+                p.p50_us,
+                p.p99_us,
+                p.throughput_rps,
+                p.idle_parks,
+                p.vars_reclaimed
+            );
+        }
+        return;
+    }
     if args.iter().any(|a| a == "list" || a == "--list") {
         for name in bench::EXPERIMENTS {
             println!("{name}");

@@ -17,10 +17,12 @@ pub mod counting_alloc;
 pub mod experiments;
 pub mod machine_bench;
 pub mod parallel_bench;
+pub mod serve_bench;
 pub mod table;
 
 pub use chaos_bench::{b3_chaos, parse_chaos_json, render_chaos_json, ChaosPoint};
 pub use compiled_bench::{b2_compiled, parse_compiled_json, render_compiled_json, CompiledPoint};
 pub use experiments::*;
 pub use parallel_bench::{b1_parallel, parse_parallel_json, render_parallel_json, ParallelPoint};
+pub use serve_bench::{c1_serve, parse_serve_json, render_serve_json, ServePoint};
 pub use table::Table;

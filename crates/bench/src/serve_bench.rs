@@ -1,0 +1,409 @@
+//! The `motif-bench serve-json` mode: the C-series load test for the
+//! resident service (`strand-serve`).
+//!
+//! Each point hammers a freshly booted doubler service over **loopback
+//! TCP** with a swarm of concurrent synthetic clients — every client is a
+//! real connection (hence a real session region) issuing a fixed number of
+//! requests and validating every reply. Three questions per burst size:
+//!
+//! * **completeness** — `lost` must be 0: every admitted request got its
+//!   `OK` reply (BUSY backpressure answers are retried, and the retries
+//!   are counted separately — a retry is not a loss).
+//! * **latency/throughput** — p50/p99 round-trip microseconds over all
+//!   requests, and completed requests per second over the burst wall time.
+//! * **residency** — after the burst drains the engine must have *parked*
+//!   (`idle_parks > 0`), not terminated, and session close must have
+//!   reclaimed store slots (`vars_reclaimed`), which is what bounds a
+//!   long-lived process. Both come from the service's own merged metrics.
+//!
+//! `--quick` runs small bursts for CI smoke; the full run's largest burst
+//! is 1000 concurrent clients, matching the acceptance bar. On a
+//! single-core host the numbers measure scheduling overhead as much as
+//! the engine — `host_parallelism` is recorded in the snapshot so readers
+//! can judge (the gate checks completeness and residency, which are
+//! host-independent, plus sane latency ordering — not absolute speed).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::{Duration, Instant};
+use strand_serve::{serve, MotifService, ServeBackend, ServeConfig, DOUBLER_APP};
+
+/// One measured row: a burst of concurrent clients against a resident
+/// service.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServePoint {
+    pub scenario: String,
+    /// Engine worker threads behind the service.
+    pub threads: u32,
+    pub clients: u64,
+    /// Requests attempted (clients × requests-per-client).
+    pub requests: u64,
+    /// Requests answered `OK` with the correct value.
+    pub completed: u64,
+    /// Attempted minus completed — the zero-loss acceptance bar.
+    pub lost: u64,
+    /// `BUSY` backpressure answers absorbed by client retries.
+    pub busy_retries: u64,
+    pub p50_us: u64,
+    pub p99_us: u64,
+    pub throughput_rps: f64,
+    /// Times the engine parked at global quiescence instead of exiting —
+    /// nonzero proves the service went *idle*, not *terminated*.
+    pub idle_parks: u64,
+    /// Store slots reclaimed by session close — nonzero proves bounded
+    /// growth across sessions.
+    pub vars_reclaimed: u64,
+    pub sessions_closed: u64,
+}
+
+/// Drive one client connection: `count` requests of `value`, validating
+/// the doubled reply. Returns (latencies µs, completed, busy retries).
+fn client_burst(addr: std::net::SocketAddr, start: &Barrier, count: u64) -> (Vec<u64>, u64, u64) {
+    let stream = TcpStream::connect(addr).expect("connect to serve loop");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("set client timeout");
+    let _ = stream.set_nodelay(true);
+    let mut writer = stream.try_clone().expect("clone stream");
+    let mut reader = BufReader::new(stream);
+    start.wait();
+    let mut latencies = Vec::with_capacity(count as usize);
+    let mut completed = 0u64;
+    let mut busy = 0u64;
+    for k in 0..count {
+        let value = 3 + k as i64;
+        let want = format!("OK {}", value * 2);
+        let t0 = Instant::now();
+        // Honest load-test protocol: BUSY answers are backpressure, not
+        // failure — wait the advertised delay and retry, still charging
+        // the full wait to this request's latency.
+        let mut tries = 0;
+        loop {
+            let frame = format!("{value}\n");
+            if writer
+                .write_all(frame.as_bytes())
+                .and_then(|_| writer.flush())
+                .is_err()
+            {
+                return (latencies, completed, busy);
+            }
+            let mut line = String::new();
+            match reader.read_line(&mut line) {
+                Ok(n) if n > 0 => {
+                    let line = line.trim();
+                    if line == want {
+                        latencies.push(t0.elapsed().as_micros() as u64);
+                        completed += 1;
+                        break;
+                    }
+                    if let Some(ms) = line.strip_prefix("BUSY ") {
+                        busy += 1;
+                        tries += 1;
+                        if tries > 100 {
+                            break; // charge it as lost
+                        }
+                        let ms: u64 = ms.parse().unwrap_or(10);
+                        std::thread::sleep(Duration::from_millis(ms.max(1)));
+                        continue;
+                    }
+                    break; // ERR or a wrong value: lost
+                }
+                _ => return (latencies, completed, busy),
+            }
+        }
+    }
+    (latencies, completed, busy)
+}
+
+/// Run one burst against a fresh resident service and fold in the
+/// service's own post-drain metrics.
+fn burst_point(clients: u64, per_client: u64) -> ServePoint {
+    let cfg = ServeConfig {
+        servers: 4,
+        backend: ServeBackend::Parallel(0),
+        ..ServeConfig::default()
+    };
+    let service = MotifService::start(DOUBLER_APP, cfg).expect("service boots");
+    let threads = service.threads() as u32;
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("ephemeral addr");
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let serve_thread = {
+        let shutdown = Arc::clone(&shutdown);
+        std::thread::Builder::new()
+            .name("serve-bench".to_string())
+            .spawn(move || serve(listener, service, shutdown, Duration::from_secs(30)))
+            .expect("spawn serve loop")
+    };
+
+    // Per-client outcome: (latencies µs, completed, busy retries).
+    type ClientResult = (Vec<u64>, u64, u64);
+    let start = Arc::new(Barrier::new(clients as usize + 1));
+    let results: Arc<Mutex<Vec<ClientResult>>> = Arc::new(Mutex::new(Vec::new()));
+    let mut handles = Vec::new();
+    for _ in 0..clients {
+        let start = Arc::clone(&start);
+        let results = Arc::clone(&results);
+        handles.push(
+            std::thread::Builder::new()
+                .name("serve-client".to_string())
+                .stack_size(128 * 1024)
+                .spawn(move || {
+                    let r = client_burst(addr, &start, per_client);
+                    results.lock().unwrap_or_else(|e| e.into_inner()).push(r);
+                })
+                .expect("spawn client"),
+        );
+    }
+    start.wait();
+    let t0 = Instant::now();
+    for h in handles {
+        let _ = h.join();
+    }
+    let wall = t0.elapsed();
+    shutdown.store(true, Ordering::Release);
+    let summary = serve_thread
+        .join()
+        .expect("serve loop joins")
+        .expect("serve loop exits cleanly");
+
+    let results = results.lock().unwrap_or_else(|e| e.into_inner());
+    let mut latencies: Vec<u64> = results
+        .iter()
+        .flat_map(|(l, _, _)| l.iter().copied())
+        .collect();
+    latencies.sort_unstable();
+    let completed: u64 = results.iter().map(|(_, c, _)| c).sum();
+    let busy_retries: u64 = results.iter().map(|(_, _, b)| b).sum();
+    let requests = clients * per_client;
+    let pct = |p: f64| -> u64 {
+        if latencies.is_empty() {
+            return 0;
+        }
+        let idx = ((latencies.len() - 1) as f64 * p).round() as usize;
+        latencies[idx]
+    };
+    let m = &summary.report.metrics;
+    ServePoint {
+        scenario: "burst".to_string(),
+        threads,
+        clients,
+        requests,
+        completed,
+        lost: requests - completed,
+        busy_retries,
+        p50_us: pct(0.50),
+        p99_us: pct(0.99),
+        throughput_rps: completed as f64 / wall.as_secs_f64().max(1e-9),
+        idle_parks: m.idle_parks,
+        vars_reclaimed: m.vars_reclaimed,
+        sessions_closed: m.sessions_closed,
+    }
+}
+
+/// Run the serve load series. `quick` keeps the bursts small for CI; the
+/// full run's top burst is 1000 concurrent clients (the acceptance bar).
+pub fn c1_serve(quick: bool) -> Vec<ServePoint> {
+    strand_parallel::install();
+    let bursts: &[(u64, u64)] = if quick {
+        &[(8, 5), (64, 5)]
+    } else {
+        &[(16, 20), (256, 10), (1000, 5)]
+    };
+    bursts
+        .iter()
+        .map(|&(clients, per_client)| burst_point(clients, per_client))
+        .collect()
+}
+
+/// Serialize serve points as JSON (no external dependencies).
+pub fn render_serve_json(points: &[ServePoint]) -> String {
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"motif-bench serve-json v1\",\n");
+    out.push_str(&format!("  \"host_parallelism\": {host},\n"));
+    out.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let comma = if i + 1 == points.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"threads\": {}, \"clients\": {}, \
+             \"requests\": {}, \"completed\": {}, \"lost\": {}, \
+             \"busy_retries\": {}, \"p50_us\": {}, \"p99_us\": {}, \
+             \"throughput_rps\": {:.1}, \"idle_parks\": {}, \
+             \"vars_reclaimed\": {}, \"sessions_closed\": {}}}{comma}\n",
+            p.scenario,
+            p.threads,
+            p.clients,
+            p.requests,
+            p.completed,
+            p.lost,
+            p.busy_retries,
+            p.p50_us,
+            p.p99_us,
+            p.throughput_rps,
+            p.idle_parks,
+            p.vars_reclaimed,
+            p.sessions_closed
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Strict parser for [`render_serve_json`] output — the same schema-drift
+/// tripwire as the other series parsers.
+pub fn parse_serve_json(json: &str) -> Result<Vec<ServePoint>, String> {
+    fn raw_field<'a>(s: &'a str, key: &str) -> Result<&'a str, String> {
+        let pat = format!("\"{key}\": ");
+        let start = s
+            .find(&pat)
+            .ok_or_else(|| format!("missing field {key:?}"))?
+            + pat.len();
+        let rest = &s[start..];
+        let end = rest
+            .find([',', '}', '\n'])
+            .ok_or_else(|| format!("unterminated field {key:?}"))?;
+        Ok(rest[..end].trim())
+    }
+    fn string_field(s: &str, key: &str) -> Result<String, String> {
+        let raw = raw_field(s, key)?;
+        raw.strip_prefix('"')
+            .and_then(|r| r.strip_suffix('"'))
+            .map(str::to_string)
+            .ok_or_else(|| format!("field {key:?} is not a string: {raw}"))
+    }
+    fn num_field<T: std::str::FromStr>(s: &str, key: &str) -> Result<T, String> {
+        raw_field(s, key)?
+            .parse()
+            .map_err(|_| format!("field {key:?} is not a number"))
+    }
+
+    if !json.contains("\"schema\": \"motif-bench serve-json v1\"") {
+        return Err("missing or unknown schema".to_string());
+    }
+    let mut points = Vec::new();
+    for line in json.lines().map(str::trim) {
+        if !line.starts_with("{\"scenario\"") {
+            continue;
+        }
+        points.push(ServePoint {
+            scenario: string_field(line, "scenario")?,
+            threads: num_field(line, "threads")?,
+            clients: num_field(line, "clients")?,
+            requests: num_field(line, "requests")?,
+            completed: num_field(line, "completed")?,
+            lost: num_field(line, "lost")?,
+            busy_retries: num_field(line, "busy_retries")?,
+            p50_us: num_field(line, "p50_us")?,
+            p99_us: num_field(line, "p99_us")?,
+            throughput_rps: num_field(line, "throughput_rps")?,
+            idle_parks: num_field(line, "idle_parks")?,
+            vars_reclaimed: num_field(line, "vars_reclaimed")?,
+            sessions_closed: num_field(line, "sessions_closed")?,
+        });
+    }
+    if points.is_empty() {
+        return Err("no points parsed".to_string());
+    }
+    Ok(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<ServePoint> {
+        vec![
+            ServePoint {
+                scenario: "burst".to_string(),
+                threads: 4,
+                clients: 16,
+                requests: 320,
+                completed: 320,
+                lost: 0,
+                busy_retries: 0,
+                p50_us: 180,
+                p99_us: 2400,
+                throughput_rps: 5123.4,
+                idle_parks: 7,
+                vars_reclaimed: 960,
+                sessions_closed: 16,
+            },
+            ServePoint {
+                scenario: "burst".to_string(),
+                threads: 4,
+                clients: 1000,
+                requests: 5000,
+                completed: 5000,
+                lost: 0,
+                busy_retries: 12,
+                p50_us: 900,
+                p99_us: 41000,
+                throughput_rps: 2100.0,
+                idle_parks: 3,
+                vars_reclaimed: 15000,
+                sessions_closed: 1000,
+            },
+        ]
+    }
+
+    #[test]
+    fn json_schema_round_trips() {
+        let points = sample();
+        let json = render_serve_json(&points);
+        let parsed = parse_serve_json(&json).expect("round-trip parses");
+        assert_eq!(parsed, points);
+        assert_eq!(render_serve_json(&parsed), json);
+    }
+
+    #[test]
+    fn parser_rejects_schema_drift() {
+        let json = render_serve_json(&sample());
+        assert!(parse_serve_json(&json.replace("\"lost\"", "\"dropped\"")).is_err());
+        assert!(parse_serve_json("{}").is_err());
+    }
+
+    #[test]
+    fn committed_snapshot_parses_and_meets_targets() {
+        // The repo-root BENCH_serve.json is a recorded artifact; if it
+        // exists it must parse and must still show the acceptance bar:
+        // a ≥1000-client burst, zero lost replies anywhere, the engine
+        // parking idle between bursts, session reclamation actually
+        // freeing slots, and coherent percentiles.
+        let Ok(json) = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_serve.json"
+        )) else {
+            return;
+        };
+        let points = parse_serve_json(&json).expect("committed snapshot parses");
+        assert!(
+            points.iter().any(|p| p.clients >= 1000),
+            "snapshot is missing the ≥1000-client burst"
+        );
+        for p in &points {
+            assert_eq!(
+                p.lost, 0,
+                "{} clients lost {} of {} replies",
+                p.clients, p.lost, p.requests
+            );
+            assert_eq!(p.completed, p.requests);
+            assert_eq!(p.sessions_closed, p.clients, "sessions leaked");
+            assert!(
+                p.idle_parks > 0,
+                "{} clients: the engine never parked idle",
+                p.clients
+            );
+            assert!(
+                p.vars_reclaimed > 0,
+                "{} clients: session close reclaimed nothing",
+                p.clients
+            );
+            assert!(p.p50_us <= p.p99_us, "percentiles out of order");
+            assert!(p.throughput_rps > 0.0);
+        }
+    }
+}

@@ -26,6 +26,7 @@ use crate::error::{StrandError, StrandResult};
 use crate::store::{Binding, NodeId, Slot, Time, Waiter};
 use crate::term::Term;
 use crate::{StoreOps, VarId};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -33,6 +34,13 @@ use std::sync::Mutex;
 #[derive(Default)]
 struct Stripe {
     slots: Vec<Slot>,
+    /// Per-region slot indices awaiting reclamation (regions ≠ 0 only).
+    region_index: HashMap<u32, Vec<u32>>,
+    /// Reclaimed slot indices available for reuse.
+    free: Vec<u32>,
+    /// Slots from closed regions that still had waiters at reclaim time;
+    /// re-examined on every later reclaim of this stripe.
+    deferred: Vec<u32>,
 }
 
 /// The striped concurrent single-assignment store.
@@ -88,14 +96,57 @@ impl SharedStore {
 
     /// Allocate a fresh, unbound variable in `owner`'s stripe.
     pub fn new_var(&self, owner: u32) -> VarId {
+        self.new_var_in(owner, 0)
+    }
+
+    /// Allocate a fresh, unbound variable in `owner`'s stripe under
+    /// `region` (0 = untracked). Reclaimed slots are reused first, so a
+    /// resident process's stripe tables track live variables, not variables
+    /// ever created. See [`Store::reclaim_region`](crate::Store::reclaim_region)
+    /// for the reclamation contract.
+    pub fn new_var_in(&self, owner: u32, region: u32) -> VarId {
         let mut stripe = self.stripe(owner);
-        let index = stripe.slots.len() as u32;
-        assert!(
-            index < VarId::MAX_INDEX,
-            "stripe {owner} exhausted its variable index space"
-        );
-        stripe.slots.push(Slot::default());
+        let index = match stripe.free.pop() {
+            Some(i) => i,
+            None => {
+                let i = stripe.slots.len() as u32;
+                assert!(
+                    i < VarId::MAX_INDEX,
+                    "stripe {owner} exhausted its variable index space"
+                );
+                stripe.slots.push(Slot::default());
+                i
+            }
+        };
+        if region != 0 {
+            stripe.region_index.entry(region).or_default().push(index);
+        }
         VarId::tagged(owner, index)
+    }
+
+    /// Reclaim every variable allocated under `region` in `owner`'s stripe,
+    /// returning the number of slots freed. Bound slots and unbound slots
+    /// without waiters are reset and recycled; slots that still have waiters
+    /// are deferred to a later reclaim of this stripe (the striped analogue
+    /// of [`Store::reclaim_region`](crate::Store::reclaim_region)).
+    pub fn reclaim_region_stripe(&self, owner: u32, region: u32) -> usize {
+        let mut stripe = self.stripe(owner);
+        let mut candidates = stripe.region_index.remove(&region).unwrap_or_default();
+        candidates.append(&mut stripe.deferred);
+        let mut freed = 0;
+        for index in candidates {
+            match &stripe.slots[index as usize] {
+                Slot::Unbound { waiters } if !waiters.is_empty() => {
+                    stripe.deferred.push(index);
+                }
+                _ => {
+                    stripe.slots[index as usize] = Slot::default();
+                    stripe.free.push(index);
+                    freed += 1;
+                }
+            }
+        }
+        freed
     }
 
     /// The binding of `v`, if any (cloned out of the stripe lock).
@@ -288,13 +339,18 @@ impl SharedStore {
 pub struct SharedStoreView {
     store: std::sync::Arc<SharedStore>,
     owner: u32,
+    region: u32,
 }
 
 impl SharedStoreView {
     /// A view allocating into `owner`'s stripe.
     pub fn new(store: std::sync::Arc<SharedStore>, owner: u32) -> SharedStoreView {
         assert!(owner < store.owners());
-        SharedStoreView { store, owner }
+        SharedStoreView {
+            store,
+            owner,
+            region: 0,
+        }
     }
 
     /// The underlying shared store.
@@ -305,6 +361,16 @@ impl SharedStoreView {
     /// The stripe this view allocates into.
     pub fn owner(&self) -> u32 {
         self.owner
+    }
+
+    /// Set the region tag for subsequent allocations (0 = untracked).
+    pub fn set_region(&mut self, region: u32) {
+        self.region = region;
+    }
+
+    /// The region tag currently stamped on allocations.
+    pub fn region(&self) -> u32 {
+        self.region
     }
 }
 
@@ -318,7 +384,7 @@ impl StoreOps for SharedStoreView {
     }
 
     fn new_var(&mut self) -> VarId {
-        self.store.new_var(self.owner)
+        self.store.new_var_in(self.owner, self.region)
     }
 }
 
@@ -383,6 +449,51 @@ mod tests {
         assert_eq!(w, vec![11]);
         assert!(!s.add_waiter(x, 13));
         assert!(s.vars_with_waiters().is_empty());
+    }
+
+    #[test]
+    fn stripe_reclaim_recycles_slots_and_defers_waiter_blocked_ones() {
+        let s = SharedStore::new(2);
+        let boot = s.new_var(1); // region 0 in stripe 1: never reclaimed
+        s.bind(boot, Term::int(1), 0, NodeId(0)).unwrap();
+        let mut high_water = 0;
+        for session in 1..=50u32 {
+            let a = s.new_var_in(1, session);
+            let tail = s.new_var_in(1, session);
+            s.bind(a, Term::int(session as i64), 0, NodeId(0)).unwrap();
+            s.add_waiter(tail, u64::from(session));
+            // The waiter-blocked slot defers; the bound one frees. From the
+            // second session on, the previous session's deferred tail (bound
+            // at the end of that session) is freed here too.
+            let expected = if session == 1 { 1 } else { 2 };
+            assert_eq!(s.reclaim_region_stripe(1, session), expected);
+            // Binding drains the waiter; the next reclaim frees the deferral.
+            s.bind(tail, Term::Nil, 0, NodeId(0)).unwrap();
+            high_water = high_water.max(s.len());
+        }
+        // The final tail is still deferred; one more reclaim frees it.
+        assert_eq!(s.reclaim_region_stripe(1, 51), 1);
+        assert!(high_water <= 4, "stripe grew to {high_water} slots");
+        assert_eq!(s.lookup(boot).unwrap().value, Term::int(1));
+        // Stripe 0 was never touched.
+        assert_eq!(s.reclaim_region_stripe(0, 1), 0);
+    }
+
+    #[test]
+    fn view_region_tags_route_allocations_to_reclaim() {
+        let s = Arc::new(SharedStore::new(2));
+        let mut view = SharedStoreView::new(Arc::clone(&s), 1);
+        assert_eq!(view.region(), 0);
+        view.set_region(3);
+        let v = StoreOps::new_var(&mut view);
+        assert_eq!(v.owner(), 1);
+        s.bind(v, Term::int(9), 0, NodeId(0)).unwrap();
+        view.set_region(0);
+        let untracked = StoreOps::new_var(&mut view);
+        assert_eq!(s.reclaim_region_stripe(1, 3), 1);
+        // The untracked allocation survives any reclaim.
+        assert!(s.lookup(untracked).is_none());
+        s.bind(untracked, Term::int(1), 0, NodeId(0)).unwrap();
     }
 
     #[test]

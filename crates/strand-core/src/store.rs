@@ -12,6 +12,7 @@
 
 use crate::error::{StrandError, StrandResult};
 use crate::term::Term;
+use std::collections::HashMap;
 
 /// Identifier of a store variable.
 ///
@@ -94,6 +95,17 @@ pub(crate) enum Slot {
 pub struct Store {
     slots: Vec<Slot>,
     bind_count: u64,
+    /// Region tag stamped on subsequently allocated variables. Region 0 is
+    /// the boot/batch region: allocations there are never tracked and never
+    /// reclaimed, so batch runs pay nothing for the machinery.
+    region: u32,
+    /// Per-region slot indices awaiting reclamation (regions ≠ 0 only).
+    region_index: HashMap<u32, Vec<u32>>,
+    /// Reclaimed slot indices available for reuse by `new_var`.
+    free: Vec<u32>,
+    /// Slots from closed regions that still had waiters at reclaim time
+    /// (e.g. a live port tail); re-examined on every later reclaim.
+    deferred: Vec<u32>,
 }
 
 impl Default for Slot {
@@ -107,10 +119,7 @@ impl Default for Slot {
 impl Store {
     /// Create an empty store.
     pub fn new() -> Store {
-        Store {
-            slots: Vec::new(),
-            bind_count: 0,
-        }
+        Store::default()
     }
 
     /// Number of variables ever created.
@@ -129,10 +138,64 @@ impl Store {
     }
 
     /// Allocate a fresh, unbound variable.
+    ///
+    /// Reuses a reclaimed slot when one is available, so the slot table's
+    /// high-water mark tracks *live* variables, not variables ever created.
+    /// When the current [region](Store::set_region) is non-zero the slot is
+    /// recorded for [`reclaim_region`](Store::reclaim_region).
     pub fn new_var(&mut self) -> VarId {
-        let id = VarId(self.slots.len() as u32);
-        self.slots.push(Slot::default());
-        id
+        let index = match self.free.pop() {
+            Some(i) => i,
+            None => {
+                let i = self.slots.len() as u32;
+                self.slots.push(Slot::default());
+                i
+            }
+        };
+        if self.region != 0 {
+            self.region_index
+                .entry(self.region)
+                .or_default()
+                .push(index);
+        }
+        VarId(index)
+    }
+
+    /// Set the region tag for subsequent allocations (0 = untracked).
+    pub fn set_region(&mut self, region: u32) {
+        self.region = region;
+    }
+
+    /// The region tag currently stamped on allocations.
+    pub fn region(&self) -> u32 {
+        self.region
+    }
+
+    /// Reclaim every variable allocated under `region`, returning the number
+    /// of slots actually freed.
+    ///
+    /// A slot is freed (reset to unbound-empty and made available for reuse)
+    /// when it is bound, or unbound with no waiters. A slot that still has
+    /// waiters — typically a live port tail some resident server loop is
+    /// suspended on — is *deferred*: it stays allocated and is re-examined
+    /// on the next reclaim, by which point the stream has usually advanced
+    /// past it. Safety rests on the session-locality contract (DESIGN.md
+    /// §9): server state must not retain session terms beyond the reply.
+    pub fn reclaim_region(&mut self, region: u32) -> usize {
+        let mut candidates = self.region_index.remove(&region).unwrap_or_default();
+        candidates.append(&mut self.deferred);
+        let mut freed = 0;
+        for index in candidates {
+            match &self.slots[index as usize] {
+                Slot::Unbound { waiters } if !waiters.is_empty() => self.deferred.push(index),
+                _ => {
+                    self.slots[index as usize] = Slot::default();
+                    self.free.push(index);
+                    freed += 1;
+                }
+            }
+        }
+        freed
     }
 
     /// The binding of `v`, if any (no dereferencing of chained variables).
@@ -393,6 +456,48 @@ mod tests {
         let t = Term::tuple("f", vec![Term::Var(x), Term::cons(Term::Var(y), Term::Nil)]);
         let r = s.resolve(&t);
         assert_eq!(r.to_string(), format!("f(3,[_{}])", y.0));
+    }
+
+    #[test]
+    fn reclaimed_regions_recycle_slots_and_bound_store_growth() {
+        let mut s = Store::new();
+        let boot = s.new_var(); // region 0: never reclaimed
+        s.bind(boot, Term::int(1), 0, NodeId(0)).unwrap();
+        let mut high_water = 0;
+        for session in 1..=100u32 {
+            s.set_region(session);
+            let a = s.new_var();
+            let b = s.new_var();
+            s.bind(a, Term::int(session as i64), 0, NodeId(0)).unwrap();
+            s.bind(b, Term::Var(a), 0, NodeId(0)).unwrap();
+            s.set_region(0);
+            assert_eq!(s.reclaim_region(session), 2);
+            high_water = high_water.max(s.len());
+        }
+        // 1 boot slot + at most 2 live session slots, ever.
+        assert!(high_water <= 3, "store grew to {high_water} slots");
+        // The boot region was untouched.
+        assert_eq!(s.lookup(boot).unwrap().value, Term::int(1));
+    }
+
+    #[test]
+    fn waiter_blocked_slots_defer_until_a_later_reclaim() {
+        let mut s = Store::new();
+        s.set_region(7);
+        let tail = s.new_var();
+        s.add_waiter(tail, 99); // a resident loop is suspended on this slot
+        s.set_region(0);
+        // First reclaim must not free the slot out from under the waiter.
+        assert_eq!(s.reclaim_region(7), 0);
+        assert_eq!(s.vars_with_waiters(), vec![tail]);
+        // The stream advances: the tail is bound, waiter drains.
+        s.bind(tail, Term::Nil, 1, NodeId(0)).unwrap();
+        // Any later reclaim (even of another region) frees the deferred slot.
+        assert_eq!(s.reclaim_region(8), 1);
+        // The freed slot is recycled by the next allocation.
+        let reused = s.new_var();
+        assert_eq!(reused, tail);
+        assert!(s.lookup(reused).is_none());
     }
 
     #[test]

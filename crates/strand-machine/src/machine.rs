@@ -36,6 +36,11 @@ pub(crate) struct QItem {
     pub pid: u64,
     pub goal: Term,
     pub tracked: bool,
+    /// Session region this process allocates store variables under
+    /// (0 = the untracked boot/batch region). Spawns inherit the spawning
+    /// reduction's region, so a whole request's dataflow is reclaimable
+    /// when its session closes.
+    pub region: u32,
 }
 
 impl PartialEq for QItem {
@@ -92,6 +97,11 @@ pub enum Routed {
         time: Time,
         binder: NodeId,
     },
+    /// A closed session's region must be swept on `worker`: the receiver
+    /// tears out its suspensions tagged with `region` and reclaims its own
+    /// store stripe. Carries no in-flight gate unit (reclamation is not
+    /// program work); it still rides the quiescence token like any batch.
+    Reclaim { region: u32, worker: usize },
 }
 
 impl Routed {
@@ -102,6 +112,7 @@ impl Routed {
         match self {
             Routed::Job(job) => job.node.0 as usize % threads,
             Routed::Wake { pid, .. } => (pid >> WORKER_PID_SHIFT) as usize,
+            Routed::Reclaim { worker, .. } => *worker,
         }
     }
 }
@@ -188,6 +199,29 @@ impl StoreHandle {
             StoreHandle::Local(s) => s.remove_waiter(v, w),
             StoreHandle::Shared(s) => s.shared().remove_waiter(v, w),
         }
+    }
+
+    /// Set the session region subsequent allocations are tagged with
+    /// (0 = untracked boot/batch region).
+    pub fn set_region(&mut self, region: u32) {
+        match self {
+            StoreHandle::Local(s) => s.set_region(region),
+            StoreHandle::Shared(s) => s.set_region(region),
+        }
+    }
+
+    /// Variables currently allocated (the live slot-table size; reclaimed
+    /// slots are reused, so a bounded resident process keeps this bounded).
+    pub fn len(&self) -> usize {
+        match self {
+            StoreHandle::Local(s) => s.len(),
+            StoreHandle::Shared(s) => s.shared().len(),
+        }
+    }
+
+    /// True when no variable has ever been allocated.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
@@ -322,6 +356,9 @@ struct Susp {
     node: NodeId,
     vars: Vec<VarId>,
     tracked: bool,
+    /// Session region the process runs under (see [`QItem::region`]); a
+    /// session sweep tears out suspensions with a matching tag.
+    region: u32,
 }
 
 struct Node {
@@ -430,6 +467,9 @@ pub struct Machine {
     /// `'$timer'` deadlines parked while the global in-flight gate is
     /// nonzero (see [`Machine::release_timers`]).
     deferred_timers: Vec<(NodeId, QItem)>,
+    /// Region the currently reducing process runs under; spawns from the
+    /// reduction inherit it (0 outside any session — the batch default).
+    current_region: u32,
 }
 
 impl Machine {
@@ -489,6 +529,7 @@ impl Machine {
             outbox: Vec::new(),
             hooks: None,
             deferred_timers: Vec::new(),
+            current_region: 0,
         }
     }
 
@@ -582,6 +623,7 @@ impl Machine {
                 pid,
                 goal,
                 tracked,
+                region: self.current_region,
             },
         );
     }
@@ -808,6 +850,7 @@ impl Machine {
                     pid,
                     goal: susp.goal,
                     tracked: susp.tracked,
+                    region: susp.region,
                 },
             );
         }
@@ -847,6 +890,7 @@ impl Machine {
                 node: self.current_node,
                 vars,
                 tracked: item.tracked,
+                region: item.region,
             },
         );
     }
@@ -1039,6 +1083,102 @@ impl Machine {
         self.enqueue(goal, NodeId(0), 0);
     }
 
+    // --- Service shell (resident machines; see DESIGN.md §9) --------------
+
+    /// Build the ingress machine for a resident sharded run: it shares the
+    /// run's world (store stripe 0, ports, gates) but owns **no** nodes —
+    /// its shard index equals `threads`, so `node mod threads` never matches
+    /// and every injected goal lands in the outbox for routing. It never
+    /// reduces or suspends, so its pids (minted above every worker's range)
+    /// never appear in store waiter lists; receivers re-mint pids on
+    /// absorption as usual.
+    pub fn new_ingress(
+        program: Arc<CompiledProgram>,
+        config: MachineConfig,
+        world: &SharedWorld,
+        threads: usize,
+    ) -> Machine {
+        let mut m = Machine::new(CompiledProgram::default(), config);
+        m.program = program;
+        m.exec = Arc::new(ExecProgram::lower(&m.program));
+        m.store = StoreHandle::Shared(SharedStoreView::new(Arc::clone(&world.store), 0));
+        m.ports = PortsHandle::Shared(Arc::clone(&world.ports));
+        m.next_pid = (threads as u64) << WORKER_PID_SHIFT;
+        m.shard = Some((threads, threads));
+        m.hooks = Some(world.hooks.clone());
+        m
+    }
+
+    /// Set the session region for subsequent goal construction and
+    /// injection: variables allocated while building the request term and
+    /// everything its reductions spawn are tagged for
+    /// [`reclaim_session`](Machine::reclaim_session).
+    pub fn set_session_region(&mut self, region: u32) {
+        self.current_region = region;
+        self.store.set_region(region);
+    }
+
+    /// Inject an external goal onto 1-based node `node` of a resident
+    /// machine. On an ingress machine the goal goes to the outbox (flush it
+    /// to the workers); on the simulator it enqueues directly — call
+    /// [`run`](Machine::run) again to process it (the scheduler loop is
+    /// re-entrant: suspensions and the store persist across calls).
+    pub fn inject(&mut self, goal: Term, node: i64) {
+        let target = self.map_node(node);
+        self.enqueue(goal, target, 0);
+    }
+
+    /// Sweep a closed session: tear out this machine's suspensions tagged
+    /// with `region` (their wakes can never matter again under the
+    /// session-locality contract) and reclaim the region's slots in the
+    /// store this machine allocates into (its own stripe when sharded).
+    /// Returns the number of store slots freed.
+    pub fn reclaim_session(&mut self, region: u32) -> usize {
+        debug_assert!(region != 0, "region 0 is the untracked batch region");
+        let pids: Vec<u64> = self
+            .suspended
+            .iter()
+            .filter(|(_, s)| s.region == region)
+            .map(|(&pid, _)| pid)
+            .collect();
+        for pid in pids {
+            let susp = self.suspended.remove(&pid).expect("collected above");
+            for v in &susp.vars {
+                self.store.remove_waiter(*v, pid);
+            }
+            if susp.tracked {
+                self.metrics.track_done(susp.node);
+            }
+        }
+        let freed = match &mut self.store {
+            StoreHandle::Local(s) => s.reclaim_region(region),
+            StoreHandle::Shared(s) => {
+                let owner = s.owner();
+                s.shared().reclaim_region_stripe(owner, region)
+            }
+        };
+        self.metrics.vars_reclaimed += freed as u64;
+        freed
+    }
+
+    /// Count one idle park (a resident worker reached global quiescence and
+    /// parked instead of exiting).
+    pub fn note_idle_park(&mut self) {
+        self.metrics.idle_parks += 1;
+    }
+
+    /// Mutable metrics access (the service shell counts sessions and
+    /// admissions on the machine that fronts them).
+    pub fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.metrics
+    }
+
+    /// Live size of the store this machine allocates into (all stripes when
+    /// sharded) — the soak tier's bounded-growth probe.
+    pub fn store_len(&self) -> usize {
+        self.store.len()
+    }
+
     // --- Sharded execution -----------------------------------------------
     //
     // The multi-threaded backend (crate `strand-parallel`) runs one Machine
@@ -1096,6 +1236,9 @@ impl Machine {
                     self.insert_local(node, item);
                 }
                 Routed::Wake { pid, time, binder } => self.apply_wake(pid, time, binder),
+                Routed::Reclaim { region, .. } => {
+                    self.reclaim_session(region);
+                }
             }
         }
     }
@@ -1132,6 +1275,7 @@ impl Machine {
                 pid,
                 goal: susp.goal,
                 tracked: susp.tracked,
+                region: susp.region,
             },
         );
     }
@@ -1255,6 +1399,9 @@ impl Machine {
                     }
                 }
                 Routed::Wake { .. } => self.gate_sub(1),
+                // Reclaims carry no gate unit; on an aborted run the region
+                // simply stays allocated (the process is exiting anyway).
+                Routed::Reclaim { .. } => {}
             }
         }
     }
@@ -1355,7 +1502,10 @@ impl Machine {
                     }
                     dropped += 1;
                 }
-                wake @ Routed::Wake { .. } => kept.push(wake),
+                // Wakes and reclaims are never dropped: faults model the
+                // network's spawn traffic, not the shared store or the
+                // service shell's control plane.
+                other => kept.push(other),
             }
         }
         *batch = kept;
@@ -1429,6 +1579,13 @@ impl Machine {
 
     /// One reduction step.
     fn reduce(&mut self, item: QItem) -> StrandResult<()> {
+        // Allocations made by this reduction (and spawns from it) belong to
+        // the process's session region. Batch runs stay on region 0 and
+        // never take this branch.
+        if self.current_region != item.region {
+            self.current_region = item.region;
+            self.store.set_region(item.region);
+        }
         let goal = self.store.deref(&item.goal);
         if let Term::Var(v) = goal {
             // A goal that is itself an unbound variable: a metacall waiting
@@ -1444,7 +1601,18 @@ impl Machine {
 
         if !self.foreign.is_empty() {
             if let Some(outcome) = self.try_foreign(name.as_str(), &goal) {
-                match outcome? {
+                // Dispatch-level errors go through `record_error` like the
+                // outcome-level ones: with `fail_fast` off they must be
+                // *collected*, not propagated — a resident service survives
+                // a bad request instead of tearing down (DESIGN.md §9).
+                let outcome = match outcome {
+                    Ok(o) => o,
+                    Err(e) => {
+                        self.finish_tracked(&item);
+                        return self.record_error(e);
+                    }
+                };
+                match outcome {
                     crate::foreign::ForeignOutcome::Done => {
                         self.finish_tracked(&item);
                     }
@@ -1459,7 +1627,14 @@ impl Machine {
         }
 
         if is_builtin(name.as_str(), arity) {
-            match self.exec_builtin(name.as_str(), &goal)? {
+            let outcome = match self.exec_builtin(name.as_str(), &goal) {
+                Ok(o) => o,
+                Err(e) => {
+                    self.finish_tracked(&item);
+                    return self.record_error(e);
+                }
+            };
+            match outcome {
                 BuiltinOutcome::Done => {
                     self.finish_tracked(&item);
                 }

@@ -85,6 +85,19 @@ pub struct Metrics {
     /// Suspensions per procedure name (`Atom` keys keep this off the
     /// allocation hot path: bumping a counter is an `Arc` clone at worst).
     pub susp_by_proc: FxHashMap<Atom, u64>,
+    /// Client sessions opened against a resident machine (`strand-serve`).
+    pub sessions_opened: u64,
+    /// Client sessions closed (and their regions reclaimed).
+    pub sessions_closed: u64,
+    /// External requests admitted into a resident machine.
+    pub requests_admitted: u64,
+    /// External requests rejected by backpressure (retry-after issued).
+    pub requests_rejected: u64,
+    /// Store slots freed by session-region reclamation.
+    pub vars_reclaimed: u64,
+    /// Times a resident worker reached global quiescence and parked instead
+    /// of exiting (the idle-vs-terminated distinction, DESIGN.md §9).
+    pub idle_parks: u64,
     /// Real (wall-clock) duration of the run in nanoseconds. Unlike every
     /// virtual-time metric above this depends on the host; backends fill it
     /// in so B-series experiments can compare engines on the same workload.
@@ -236,6 +249,12 @@ impl Metrics {
         self.index_misses += other.index_misses;
         self.compiled_reductions += other.compiled_reductions;
         self.interpreted_reductions += other.interpreted_reductions;
+        self.sessions_opened += other.sessions_opened;
+        self.sessions_closed += other.sessions_closed;
+        self.requests_admitted += other.requests_admitted;
+        self.requests_rejected += other.requests_rejected;
+        self.vars_reclaimed += other.vars_reclaimed;
+        self.idle_parks += other.idle_parks;
         for (name, count) in &other.susp_by_proc {
             *self.susp_by_proc.entry(name.clone()).or_insert(0) += count;
         }
@@ -321,6 +340,28 @@ mod tests {
         assert_eq!(a.batches_duplicated, 4);
         assert_eq!(a.throttle_ns, 750);
         assert_eq!(a.supervisor_restarts, 3);
+    }
+
+    #[test]
+    fn serve_counters_merge_additively() {
+        let mut a = Metrics::new(2);
+        a.sessions_opened = 10;
+        a.sessions_closed = 9;
+        a.requests_admitted = 40;
+        a.vars_reclaimed = 18;
+        let mut b = Metrics::new(2);
+        b.sessions_opened = 3;
+        b.sessions_closed = 4;
+        b.requests_rejected = 2;
+        b.vars_reclaimed = 7;
+        b.idle_parks = 5;
+        a.merge(&b);
+        assert_eq!(a.sessions_opened, 13);
+        assert_eq!(a.sessions_closed, 13);
+        assert_eq!(a.requests_admitted, 40);
+        assert_eq!(a.requests_rejected, 2);
+        assert_eq!(a.vars_reclaimed, 25);
+        assert_eq!(a.idle_parks, 5);
     }
 
     #[test]

@@ -69,6 +69,9 @@
 //! ```
 
 mod quiesce;
+mod resident;
+
+pub use resident::ResidentHandle;
 
 use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError};
 use parking_lot::Mutex;
@@ -123,6 +126,11 @@ struct Shared {
     threads: usize,
     /// Wall-clock fault plan; workers derive their own seeded view of it.
     chaos: ChaosPlan,
+    /// Resident (service) mode: global quiescence means *idle*, not
+    /// terminated — the last worker to surrender its token parks instead of
+    /// broadcasting stop, and the machine stays live for the next ingress
+    /// batch. See DESIGN.md §9.
+    resident: bool,
 }
 
 /// One worker's view of the run's [`ChaosPlan`]: its own kill deadline and
@@ -258,6 +266,7 @@ fn run_parallel(
         world,
         threads,
         chaos: config.chaos.clone(),
+        resident: false,
     });
     // Each worker takes its machine out of a slot and puts it back on exit
     // so the shard reports can be merged after the join.
@@ -429,10 +438,18 @@ fn worker_loop(shared: &Shared, me: usize, rx: &Receiver<Msg>, m: &mut Machine) 
                     Err(_) => {}
                 }
                 if shared.tokens.release() {
-                    // Ours was the last token: no busy worker, no batch in
-                    // flight anywhere (see quiesce.rs). Tell everyone.
-                    stop(shared);
-                    return;
+                    if !shared.resident {
+                        // Ours was the last token: no busy worker, no batch
+                        // in flight anywhere (see quiesce.rs). Tell everyone.
+                        stop(shared);
+                        return;
+                    }
+                    // Resident mode: global quiescence is *idle*, not
+                    // termination. Count the burst-to-idle transition (only
+                    // the last releaser ticks it, so one park per burst)
+                    // and fall through to the ordinary recv park below —
+                    // the next ingress batch re-busies us with its token.
+                    m.note_idle_park();
                 }
                 // Park. A batch arriving now wakes us and its token
                 // becomes our busy token — no counter update.

@@ -62,10 +62,20 @@ impl Tokens {
 
     /// A busy worker goes idle, surrendering its token. Returns `true` when
     /// it surrendered the last token — global quiescence; the caller must
-    /// broadcast stop (including to itself).
+    /// broadcast stop (including to itself), or in resident mode park and
+    /// leave the machine alive for the next ingress batch.
     #[must_use]
     pub fn release(&self) -> bool {
         self.0.fetch_sub(1, Ordering::AcqRel) == 1
+    }
+
+    /// Observe global quiescence: no busy workers and no in-flight batches.
+    /// Only a meaningful *steady* signal in resident mode, where quiescence
+    /// is revisited rather than terminal; a `false` may be stale by the time
+    /// the caller acts on it, but `true` stays true until new work is minted
+    /// through [`Tokens::add`].
+    pub fn is_zero(&self) -> bool {
+        self.0.load(Ordering::Acquire) == 0
     }
 }
 

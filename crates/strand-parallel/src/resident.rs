@@ -1,0 +1,345 @@
+//! Resident execution: keep a parallel machine alive between bursts.
+//!
+//! The batch entry point ([`run_parallel`](crate::ParallelBackend)) treats
+//! global quiescence as termination: the last worker to surrender its token
+//! broadcasts stop and everyone exits. A *service* wants the opposite — the
+//! program (a Server motif, typically) drains to quiescence and then waits,
+//! suspended on its port streams, for the next external request. This
+//! module provides that mode:
+//!
+//! * workers run the unmodified [`worker_loop`](crate::worker_loop); the
+//!   only behavioural difference is the `resident` flag on the shared
+//!   state, which turns the stop-broadcast on last-token-release into an
+//!   ordinary park (counted as `idle_parks` in the metrics). Quiescence
+//!   becomes re-entrant: the counter climbs off zero as soon as an ingress
+//!   batch is minted and the parked workers wake exactly as they would for
+//!   a peer's batch.
+//! * an extra **ingress** [`Machine`] ([`Machine::new_ingress`]) lives on
+//!   the caller's side of the channels. It owns no nodes, never reduces,
+//!   and exists so external threads can build terms against the shared
+//!   store and enqueue goals; everything it enqueues lands in its outbox
+//!   and is shipped to the owning workers under the same token protocol as
+//!   worker-to-worker traffic.
+//! * session cleanup rides the same channels: [`ResidentHandle::reclaim`]
+//!   sends each worker a [`Routed::Reclaim`] event, which sweeps that
+//!   shard's suspensions and store stripe for the region inline with its
+//!   normal scheduling — no stop-the-world.
+//!
+//! Chaos plans are rejected: fault injection assumes a run that ends, and
+//! a killed shard would silently black-hole every session routed to it.
+
+use crate::quiesce::Tokens;
+use crate::{resolve_threads, send_batch, stop, worker_loop, Msg, Shared, CHANNEL_CAP};
+use crossbeam::channel::{bounded, Receiver};
+use parking_lot::Mutex;
+use skeletons::WorkerSet;
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::sync::Mutex as StdMutex;
+use std::time::{Duration, Instant};
+use strand_core::{StrandError, StrandResult, Term};
+use strand_machine::{
+    ast_to_term, merge_shard_reports, ChaosPlan, ForeignLib, Machine, MachineConfig, Routed,
+    RunReport,
+};
+use strand_parse::{compile_program, parse_term, Program};
+
+/// A running resident machine: worker threads parked-or-reducing behind
+/// channels, plus the ingress machine external threads inject through.
+///
+/// The handle is `Sync`; clone it behind an `Arc` and inject from as many
+/// connection threads as you like — injection serialises on the ingress
+/// lock, reduction stays parallel across the workers.
+pub struct ResidentHandle {
+    shared: Arc<Shared>,
+    /// The ingress machine. Term construction, goal injection and the
+    /// serve-side metrics counters all happen under this lock.
+    ingress: StdMutex<Machine>,
+    workers: Option<WorkerSet>,
+    slots: Arc<Vec<Mutex<Option<Machine>>>>,
+    threads: usize,
+    boot_vars: BTreeMap<String, Term>,
+    t0: Instant,
+}
+
+impl ResidentHandle {
+    /// Compile `program`, seed `boot_goal` and spawn resident workers.
+    /// Returns as soon as the workers are running; call
+    /// [`wait_idle`](ResidentHandle::wait_idle) to block until the boot
+    /// burst has drained (the Server motif's loops are then suspended on
+    /// their streams, waiting for [`inject`](ResidentHandle::with_ingress)).
+    pub fn start(
+        program: &Program,
+        boot_goal: &str,
+        config: MachineConfig,
+        lib: &ForeignLib,
+    ) -> StrandResult<ResidentHandle> {
+        if !config.faults.is_empty() || !config.chaos.is_empty() {
+            return Err(StrandError::UnsupportedFaultPlan {
+                backend: "resident".to_string(),
+                plan: "fault/chaos injection".to_string(),
+                hint: "resident mode keeps the machine alive indefinitely; \
+                       fault plans assume a run that terminates. Run chaos \
+                       tiers through the batch entry points instead"
+                    .to_string(),
+            });
+        }
+        let threads = resolve_threads(&config);
+        let goal_ast = parse_term(boot_goal).map_err(|e| StrandError::Other(e.to_string()))?;
+        let compiled =
+            Arc::new(compile_program(program).map_err(|e| StrandError::Other(e.to_string()))?);
+        let world = strand_machine::SharedWorld::new(threads);
+        let mut machines: Vec<Machine> = (0..threads)
+            .map(|idx| {
+                let mut m = Machine::new_worker(
+                    Arc::clone(&compiled),
+                    config.clone(),
+                    &world,
+                    idx,
+                    threads,
+                );
+                m.install_lib(lib);
+                m
+            })
+            .collect();
+        let mut ingress =
+            Machine::new_ingress(Arc::clone(&compiled), config.clone(), &world, threads);
+        ingress.install_lib(lib);
+        let mut boot_vars = BTreeMap::new();
+        let goal = ast_to_term(&goal_ast, &mut machines[0], &mut boot_vars);
+        machines[0].start(goal);
+        for r in machines[0].take_outbox() {
+            let w = r.dest_worker(threads);
+            machines[w].absorb(vec![r]);
+        }
+
+        let mut senders = Vec::with_capacity(threads);
+        let mut receivers: Vec<Option<Receiver<Msg>>> = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let (tx, rx) = bounded::<Msg>(CHANNEL_CAP);
+            senders.push(tx);
+            receivers.push(Some(rx));
+        }
+        let shared = Arc::new(Shared {
+            tokens: Tokens::new(threads as u64),
+            senders,
+            stopping: AtomicBool::new(false),
+            truncated: AtomicBool::new(false),
+            fatal: Mutex::new(None),
+            world,
+            threads,
+            chaos: ChaosPlan::default(),
+            resident: true,
+        });
+        let slots: Arc<Vec<Mutex<Option<Machine>>>> =
+            Arc::new(machines.into_iter().map(|m| Mutex::new(Some(m))).collect());
+
+        let t0 = Instant::now();
+        let workers = {
+            let shared = Arc::clone(&shared);
+            let slots = Arc::clone(&slots);
+            WorkerSet::spawn(threads, "strand-serve", move |idx| {
+                let shared = Arc::clone(&shared);
+                let slots = Arc::clone(&slots);
+                let rx = receivers[idx].take().expect("one receiver per worker");
+                Box::new(move || {
+                    let mut m = slots[idx].lock().take().expect("one machine per worker");
+                    let outcome =
+                        catch_unwind(AssertUnwindSafe(|| worker_loop(&shared, idx, &rx, &mut m)));
+                    if outcome.is_err() {
+                        crate::fatal(
+                            &shared,
+                            StrandError::Other("worker panicked during reduction".to_string()),
+                        );
+                    }
+                    *slots[idx].lock() = Some(m);
+                })
+            })
+        };
+
+        Ok(ResidentHandle {
+            shared,
+            ingress: StdMutex::new(ingress),
+            workers: Some(workers),
+            slots,
+            threads,
+            boot_vars,
+            t0,
+        })
+    }
+
+    /// Worker threads behind this handle.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// A named variable from the boot goal (e.g. the server directory tuple
+    /// that request goals distribute over).
+    pub fn boot_var(&self, name: &str) -> Option<Term> {
+        self.boot_vars.get(name).cloned()
+    }
+
+    /// Run `f` against the ingress machine — build terms, set the session
+    /// region, [`inject`](Machine::inject) goals, bump serve counters —
+    /// then flush everything it enqueued to the owning workers (minting
+    /// quiescence tokens per batch, so a parked fleet wakes).
+    pub fn with_ingress<R>(&self, f: impl FnOnce(&mut Machine) -> R) -> R {
+        let mut m = self.ingress.lock().unwrap_or_else(|e| e.into_inner());
+        let out = f(&mut m);
+        let mut bufs: Vec<Vec<Routed>> = (0..self.threads).map(|_| Vec::new()).collect();
+        for r in m.take_outbox() {
+            bufs[r.dest_worker(self.threads)].push(r);
+        }
+        drop(m);
+        for (w, batch) in bufs.into_iter().enumerate() {
+            if !batch.is_empty() {
+                send_batch(&self.shared, w, batch);
+            }
+        }
+        out
+    }
+
+    /// Close a session: every worker sweeps its suspensions and store
+    /// stripe for `region`, inline with its normal scheduling. The sweep
+    /// events carry quiescence tokens like any batch, so reclamation is
+    /// complete once the machine next reads idle.
+    pub fn reclaim(&self, region: u32) {
+        for w in 0..self.threads {
+            send_batch(&self.shared, w, vec![Routed::Reclaim { region, worker: w }]);
+        }
+    }
+
+    /// Regular (non-timer) work pending anywhere — the backpressure gauge
+    /// admission checks against its budget.
+    pub fn pending(&self) -> u64 {
+        self.shared.world.regular_pending()
+    }
+
+    /// Reductions performed so far, all workers combined.
+    pub fn reductions(&self) -> u64 {
+        self.shared.world.reductions()
+    }
+
+    /// True when the machine is globally quiescent: every worker parked,
+    /// no batch in flight. New injections flip this false immediately.
+    pub fn is_idle(&self) -> bool {
+        self.shared.tokens.is_zero()
+    }
+
+    /// True once a fatal error (or shutdown) has told the workers to wind
+    /// down; the service should stop admitting.
+    pub fn is_stopping(&self) -> bool {
+        self.shared.stopping.load(Ordering::Acquire)
+    }
+
+    /// Block until the machine reads idle, polling the token counter.
+    /// Returns `false` on timeout. (Idle is a steady state until the next
+    /// injection, so a poll is race-free where a woken-too-early condvar
+    /// would not be.)
+    pub fn wait_idle(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self.shared.tokens.is_zero() || self.is_stopping() {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return self.shared.tokens.is_zero();
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+
+    /// Wind the service down: wait (bounded) for in-flight work to drain,
+    /// stop and join the workers, and merge every shard's report — the
+    /// ingress machine's included, so serve counters and reclamation
+    /// totals survive into the summary.
+    pub fn shutdown(mut self) -> StrandResult<RunReport> {
+        let _ = self.wait_idle(Duration::from_secs(10));
+        stop(&self.shared);
+        if let Some(ws) = self.workers.take() {
+            ws.join();
+        }
+        if let Some(e) = self.shared.fatal.lock().take() {
+            return Err(e);
+        }
+        let truncated = self.shared.truncated.load(Ordering::Acquire);
+        let mut machines: Vec<Machine> = self
+            .slots
+            .iter()
+            .map(|s| s.lock().take().expect("worker returned its machine"))
+            .collect();
+        machines.push(self.ingress.into_inner().unwrap_or_else(|e| e.into_inner()));
+        let parts: Vec<_> = machines.iter_mut().map(|m| m.finalize_shard()).collect();
+        let worker_jobs: Vec<u64> = parts
+            .iter()
+            .take(self.threads)
+            .map(|p| p.metrics.total_reductions)
+            .collect();
+        let mut report = merge_shard_reports(parts, truncated);
+        report.metrics.wall_ns = self.t0.elapsed().as_nanos() as u64;
+        report.metrics.threads_used = self.threads as u32;
+        report.metrics.worker_jobs = worker_jobs;
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strand_parse::parse_program;
+
+    fn handle(threads: u32) -> ResidentHandle {
+        let program = parse_program("boot. double(X, Y) :- Y := X * 2.").unwrap();
+        let cfg = MachineConfig::with_nodes(4).parallel(threads);
+        ResidentHandle::start(&program, "boot", cfg, &ForeignLib::default()).unwrap()
+    }
+
+    fn inject_goal(h: &ResidentHandle, region: u32, src: &str) -> BTreeMap<String, Term> {
+        h.with_ingress(|m| {
+            m.set_session_region(region);
+            let ast = parse_term(src).unwrap();
+            let mut vars = BTreeMap::new();
+            let goal = ast_to_term(&ast, m, &mut vars);
+            m.inject(goal, 1);
+            vars
+        })
+    }
+
+    #[test]
+    fn answers_bursts_and_returns_to_idle_between_them() {
+        let h = handle(2);
+        assert!(h.wait_idle(Duration::from_secs(5)), "boot never drained");
+        for (session, x) in [(1u32, 21i64), (2, 100)] {
+            let vars = inject_goal(&h, session, &format!("double({x}, V)"));
+            assert!(h.wait_idle(Duration::from_secs(5)), "burst never drained");
+            let v = h.with_ingress(|m| m.store().resolve(&vars["V"]));
+            assert_eq!(v.to_string(), (x * 2).to_string());
+            h.reclaim(session);
+        }
+        assert!(h.wait_idle(Duration::from_secs(5)));
+        let report = h.shutdown().unwrap();
+        // Each drained burst parks the fleet exactly once (boot + two
+        // requests + reclaim wakes ⇒ at least one, typically several).
+        assert!(report.metrics.idle_parks >= 1, "{:?}", report.metrics);
+        // Session-tagged request variables were swept on reclaim.
+        assert!(report.metrics.vars_reclaimed >= 2, "{:?}", report.metrics);
+    }
+
+    #[test]
+    fn chaos_plans_are_rejected_in_resident_mode() {
+        let program = parse_program("boot.").unwrap();
+        let cfg = MachineConfig::with_nodes(2)
+            .parallel(2)
+            .chaos(ChaosPlan::default().kill(1, 0));
+        let err = match ResidentHandle::start(&program, "boot", cfg, &ForeignLib::default()) {
+            Err(e) => e,
+            Ok(_) => panic!("chaos plan accepted in resident mode"),
+        };
+        assert!(
+            matches!(err, StrandError::UnsupportedFaultPlan { .. }),
+            "{err}"
+        );
+    }
+}

@@ -1,0 +1,732 @@
+//! # strand-serve
+//!
+//! A **resident** motif service: the paper's Server motif (§3.2) describes
+//! "a fully connected set of named servers, each capable of initiating
+//! computations upon receipt of messages" — this crate keeps such a
+//! network alive in a long-running process and feeds it *external* traffic
+//! over TCP, instead of a single batch goal that runs to quiescence and
+//! exits. See DESIGN.md §9 for the full model; the short version:
+//!
+//! * **Idle, not terminated.** The engine's quiescence detector normally
+//!   ends the run; in resident mode (simulator: `Machine::run` is simply
+//!   re-entered per burst; parallel: [`strand_parallel::ResidentHandle`])
+//!   quiescence parks the workers and the suspended Server loops wait on
+//!   their port streams for the next request.
+//! * **Sessions are regions.** Every TCP connection gets a session region;
+//!   variables allocated for its requests and the suspensions they leave
+//!   behind are tagged with it and swept when the connection closes, so
+//!   store growth is bounded by the *live* sessions, not the total ever
+//!   served.
+//! * **Backpressure, not queues.** Admission checks the engine's regular
+//!   work gauge (the same shared gate the lazy-timer rule reads); past the
+//!   configured high-water mark clients get `BUSY <retry-ms>` instead of
+//!   unbounded queueing.
+//!
+//! ## Wire protocol
+//!
+//! Line-based, UTF-8. A request is one **ground** term per line (the
+//! payload `Q` of the motif-level message `req(Q, R)`); the service binds
+//! the handler's reply `R` and answers with exactly one line:
+//!
+//! ```text
+//! OK <term>      — the resolved reply
+//! ERR <message>  — parse error, non-ground request, timeout, shutdown
+//! BUSY <millis>  — backpressured; retry after the given delay
+//! ```
+//!
+//! A session is a connection: closing it (EOF) reclaims everything the
+//! session allocated. The application supplies `server/1` handler rules
+//! (the Server transformation threads the directory argument itself) that
+//! answer `req(Q, R)` messages by binding `R` to a ground term, e.g.
+//!
+//! ```text
+//! server([]).
+//! server([halt|_]).
+//! server([req(Q, R)|In]) :- R := Q * 2, server(In).
+//! ```
+
+use std::collections::{BTreeMap, HashMap};
+use std::io::{BufRead, BufReader, ErrorKind, Write as IoWrite};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use strand_core::{StrandError, StrandResult, Term};
+use strand_machine::{ast_to_term, ForeignLib, Machine, MachineConfig, RunReport};
+use strand_parallel::ResidentHandle;
+use strand_parse::{compile_program, parse_term};
+
+/// Boot rule appended to the application before the Server transformation:
+/// build the port-tuple directory and spawn one server per node, but —
+/// unlike the library's `create/2` — deliver no initial message and never
+/// halt: the network starts empty and waits for ingress.
+const SERVE_BOOT: &str = "\nserve_boot(N, DT) :- make_tuple(N, DT), spawn_servers(N, DT).\n";
+
+/// The demo application served by the `strand-serve` binary when no
+/// `--app` file is given: replies with the doubled request payload.
+/// Handlers that allocate no fresh body variables keep the resident
+/// store perfectly bounded (see DESIGN.md §9 on session locality).
+pub const DOUBLER_APP: &str = r#"
+server([]).
+server([halt|_]).
+server([req(Q, R)|In]) :- R := Q * 2, server(In).
+"#;
+
+/// An echo application (head unification binds the reply to the request),
+/// used by the conformance tier to round-trip arbitrary ground terms.
+pub const ECHO_APP: &str = r#"
+server([]).
+server([halt|_]).
+server([req(Q, R)|In]) :- R = Q, server(In).
+"#;
+
+/// Which engine keeps the program resident.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServeBackend {
+    /// The deterministic simulator: requests reduce synchronously under
+    /// the service lock, one burst per request. The conformance reference.
+    Sim,
+    /// The sharded parallel backend with the given worker threads
+    /// (0 = host parallelism): workers stay parked between bursts.
+    Parallel(u32),
+}
+
+/// Service tuning. `Default` is a 4-server parallel network sized for the
+/// host, with backpressure at 10k queued reductions' worth of work.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Server-motif nodes (the `make_tuple(N, DT)` directory size).
+    pub servers: u32,
+    pub backend: ServeBackend,
+    /// Admission high-water mark on the engine's regular-work gauge;
+    /// requests arriving above it are answered `BUSY`.
+    pub max_pending: u64,
+    /// The retry delay a backpressured client is told to wait.
+    pub retry_ms: u64,
+    /// How long a request waits for its reply before answering `ERR`.
+    pub reply_timeout_ms: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            servers: 4,
+            backend: ServeBackend::Parallel(0),
+            max_pending: 10_000,
+            retry_ms: 25,
+            reply_timeout_ms: 10_000,
+        }
+    }
+}
+
+/// One reply per outstanding request, keyed by request id. The
+/// `'$serve_reply'` foreign procedure delivers here from whichever worker
+/// reduces it; connection threads block on [`ReplyBus::wait`].
+#[derive(Default)]
+struct ReplyBus {
+    replies: Mutex<HashMap<u64, Term>>,
+    arrived: Condvar,
+}
+
+impl ReplyBus {
+    fn deliver(&self, rid: u64, reply: Term) {
+        self.replies
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(rid, reply);
+        self.arrived.notify_all();
+    }
+
+    fn wait(&self, rid: u64, timeout: Duration) -> Option<Term> {
+        let deadline = Instant::now() + timeout;
+        let mut replies = self.replies.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(t) = replies.remove(&rid) {
+                return Some(t);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _) = self
+                .arrived
+                .wait_timeout(replies, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            replies = guard;
+        }
+    }
+
+    /// Non-blocking variant for the simulator path, where the reply is
+    /// already delivered by the time the request burst has drained.
+    fn take(&self, rid: u64) -> Option<Term> {
+        self.replies
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&rid)
+    }
+}
+
+/// An open session: one per TCP connection (or per synthetic client in
+/// the bench). Dropping it without [`MotifService::close_session`] leaks
+/// the region until shutdown — close explicitly.
+#[derive(Clone, Copy, Debug)]
+pub struct Session {
+    /// Monotonic session number (diagnostics only).
+    pub sid: u64,
+    /// The store/suspension region everything this session allocates is
+    /// tagged with; swept on close.
+    pub region: u32,
+}
+
+/// One request's outcome, mirroring the wire protocol.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// The handler bound the reply: the resolved term, rendered.
+    Ok(String),
+    /// Parse error, non-ground request, reply timeout or shutdown.
+    Err(String),
+    /// Backpressured: retry after this many milliseconds.
+    Busy(u64),
+}
+
+impl Response {
+    /// The wire form, without the trailing newline.
+    pub fn wire(&self) -> String {
+        match self {
+            Response::Ok(t) => format!("OK {t}"),
+            Response::Err(m) => format!("ERR {}", m.replace('\n', " ")),
+            Response::Busy(ms) => format!("BUSY {ms}"),
+        }
+    }
+}
+
+enum Engine {
+    Sim(Mutex<Machine>),
+    Parallel(ResidentHandle),
+}
+
+/// A resident Server-motif program plus the session plumbing around it.
+/// `Sync`: share behind an `Arc` across connection threads.
+pub struct MotifService {
+    engine: Engine,
+    bus: Arc<ReplyBus>,
+    /// The port-tuple directory bound by the boot goal; every request
+    /// distributes over it.
+    dt: Term,
+    cfg: ServeConfig,
+    next_sid: AtomicU64,
+    next_region: AtomicU32,
+    next_rid: AtomicU64,
+    round_robin: AtomicU64,
+}
+
+impl MotifService {
+    /// Transform `app_src` with the Server motif, boot an N-server network
+    /// with no initial traffic, and leave it resident (idle) awaiting
+    /// requests.
+    pub fn start(app_src: &str, cfg: ServeConfig) -> StrandResult<MotifService> {
+        let full_src = format!("{app_src}{SERVE_BOOT}");
+        let program = motifs::server()
+            .apply_src(&full_src)
+            .map_err(|e| StrandError::Other(e.to_string()))?;
+        let bus = Arc::new(ReplyBus::default());
+        let mut lib = ForeignLib::new();
+        {
+            let bus = Arc::clone(&bus);
+            lib.register("$serve_reply", 3, move |args| {
+                let rid = match &args[0] {
+                    Term::Int(v) => *v as u64,
+                    other => {
+                        return Err(StrandError::Other(format!(
+                            "'$serve_reply' wants an integer request id, got {other}"
+                        )))
+                    }
+                };
+                bus.deliver(rid, args[1].clone());
+                Ok((Term::atom("ok"), 1))
+            });
+        }
+        let mut mcfg = MachineConfig::with_nodes(cfg.servers);
+        // A service has no natural reduction budget; give it half of
+        // forever (the shared counter still guards runaway handlers in
+        // that a stuck burst eventually truncates instead of spinning).
+        mcfg.max_reductions = u64::MAX / 2;
+        // A bad request must not tear the service down mid-session:
+        // handler errors are collected, the client times out instead.
+        mcfg.fail_fast = false;
+        let boot_goal = format!("serve_boot({}, DT)", cfg.servers);
+        let engine = match cfg.backend {
+            ServeBackend::Sim => {
+                let compiled =
+                    compile_program(&program).map_err(|e| StrandError::Other(e.to_string()))?;
+                let mut m = Machine::new(compiled, mcfg);
+                m.install_lib(&lib);
+                let ast = parse_term(&boot_goal).map_err(|e| StrandError::Other(e.to_string()))?;
+                let mut vars = BTreeMap::new();
+                let goal = ast_to_term(&ast, &mut m, &mut vars);
+                m.start(goal);
+                m.run()?;
+                let dt = vars.remove("DT").expect("boot goal names DT");
+                return Ok(MotifService::assemble(
+                    Engine::Sim(Mutex::new(m)),
+                    bus,
+                    dt,
+                    cfg,
+                ));
+            }
+            ServeBackend::Parallel(threads) => {
+                let handle =
+                    ResidentHandle::start(&program, &boot_goal, mcfg.parallel(threads), &lib)?;
+                if !handle.wait_idle(Duration::from_secs(30)) {
+                    return Err(StrandError::Other(
+                        "resident boot did not reach idle within 30s".to_string(),
+                    ));
+                }
+                Engine::Parallel(handle)
+            }
+        };
+        let dt = match &engine {
+            Engine::Parallel(h) => h.boot_var("DT").expect("boot goal names DT"),
+            Engine::Sim(_) => unreachable!("sim path returned above"),
+        };
+        Ok(MotifService::assemble(engine, bus, dt, cfg))
+    }
+
+    fn assemble(engine: Engine, bus: Arc<ReplyBus>, dt: Term, cfg: ServeConfig) -> MotifService {
+        MotifService {
+            engine,
+            bus,
+            dt,
+            cfg,
+            next_sid: AtomicU64::new(0),
+            next_region: AtomicU32::new(1),
+            next_rid: AtomicU64::new(0),
+            round_robin: AtomicU64::new(0),
+        }
+    }
+
+    /// Open a session: allocate its region and count it.
+    pub fn open_session(&self) -> Session {
+        let sid = self.next_sid.fetch_add(1, Ordering::Relaxed) + 1;
+        let region = self.next_region.fetch_add(1, Ordering::Relaxed);
+        self.with_front(|m| m.metrics_mut().sessions_opened += 1);
+        Session { sid, region }
+    }
+
+    /// Close a session: sweep every shard's suspensions and store slots
+    /// tagged with its region.
+    pub fn close_session(&self, session: Session) {
+        match &self.engine {
+            Engine::Sim(m) => {
+                let mut m = m.lock().unwrap_or_else(|e| e.into_inner());
+                m.reclaim_session(session.region);
+                m.metrics_mut().sessions_closed += 1;
+            }
+            Engine::Parallel(h) => {
+                h.reclaim(session.region);
+                h.with_ingress(|m| m.metrics_mut().sessions_closed += 1);
+            }
+        }
+    }
+
+    /// Serve one request line: admission check, parse, inject
+    /// `distribute(J, DT, req(Q, R))` plus the `'$serve_reply'` probe under
+    /// the session's region, and wait for the reply.
+    pub fn request(&self, session: Session, line: &str) -> Response {
+        if self.is_stopping() {
+            return Response::Err("service is shutting down".to_string());
+        }
+        // Backpressure: consult the engine's regular-work gauge before
+        // adding to it. The simulator drains synchronously per request,
+        // so its gauge only matters under concurrent sessions.
+        if self.pending() > self.cfg.max_pending {
+            self.with_front(|m| m.metrics_mut().requests_rejected += 1);
+            return Response::Busy(self.cfg.retry_ms);
+        }
+        let ast = match parse_term(line) {
+            Ok(a) => a,
+            Err(e) => return Response::Err(format!("parse: {e}")),
+        };
+        let rid = self.next_rid.fetch_add(1, Ordering::Relaxed) + 1;
+        let node = (self.round_robin.fetch_add(1, Ordering::Relaxed) % u64::from(self.cfg.servers))
+            as i64
+            + 1;
+        let dt = self.dt.clone();
+        let timeout = Duration::from_millis(self.cfg.reply_timeout_ms);
+        match &self.engine {
+            Engine::Parallel(h) => {
+                let ack = match h
+                    .with_ingress(|m| Self::inject_request(m, session, &ast, rid, node, dt))
+                {
+                    Ok(ack) => ack,
+                    Err(resp) => return resp,
+                };
+                let got = self.bus.wait(rid, timeout);
+                // The '$serve_reply' closure delivers to the bus *before*
+                // the engine binds its out-arg (the ack), so the bind can
+                // still be in flight here. Returning without waiting for it
+                // would let a prompt close_session sweep the unbound ack
+                // slot; once recycled, the stale bind writes `ok` into the
+                // next session's reply var. A reply without a ground ack is
+                // therefore not done yet — wait it out (it lands within the
+                // same reduction, microseconds behind the bus delivery).
+                let grace = Instant::now()
+                    + if got.is_some() {
+                        timeout
+                    } else {
+                        // On a reply timeout the handler is stuck and the
+                        // bind is unlikely to ever come; a short grace only
+                        // narrows the same recycling window.
+                        Duration::from_millis(250)
+                    };
+                while !h.with_ingress(|m| m.store().resolve(&ack).is_ground()) {
+                    if Instant::now() >= grace || h.is_stopping() {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_micros(50));
+                }
+                match got {
+                    Some(t) => Response::Ok(t.to_string()),
+                    None => {
+                        Response::Err(format!("no reply within {}ms", self.cfg.reply_timeout_ms))
+                    }
+                }
+            }
+            Engine::Sim(m) => {
+                let mut m = m.lock().unwrap_or_else(|e| e.into_inner());
+                if let Err(resp) = Self::inject_request(&mut m, session, &ast, rid, node, dt) {
+                    return resp;
+                }
+                if let Err(e) = m.run() {
+                    return Response::Err(format!("engine: {e}"));
+                }
+                match self.bus.take(rid) {
+                    Some(t) => Response::Ok(t.to_string()),
+                    None => Response::Err("handler did not answer the request".to_string()),
+                }
+            }
+        }
+    }
+
+    /// Build and enqueue the two goals for one request on `m` (the ingress
+    /// machine or the simulator). `Ok` carries the `'$serve_reply'` ack
+    /// variable (bound by the engine once the reply has been delivered —
+    /// the parallel path uses it to confirm the request's binds have all
+    /// landed); `Err` carries the client-facing response.
+    fn inject_request(
+        m: &mut Machine,
+        session: Session,
+        ast: &strand_parse::Ast,
+        rid: u64,
+        node: i64,
+        dt: Term,
+    ) -> Result<Term, Response> {
+        m.set_session_region(session.region);
+        let mut vars = BTreeMap::new();
+        let q = ast_to_term(ast, m, &mut vars);
+        if !vars.is_empty() || !m.store().resolve(&q).is_ground() {
+            // The stray variables were allocated under the session region,
+            // so the close-time sweep reclaims them.
+            return Err(Response::Err("request must be a ground term".to_string()));
+        }
+        let reply = Term::Var(m.store_mut().new_var());
+        let ack = Term::Var(m.store_mut().new_var());
+        m.metrics_mut().requests_admitted += 1;
+        m.inject(
+            Term::tuple(
+                "distribute",
+                vec![
+                    Term::int(node),
+                    dt,
+                    Term::tuple("req", vec![q, reply.clone()]),
+                ],
+            ),
+            node,
+        );
+        m.inject(
+            Term::tuple(
+                "$serve_reply",
+                vec![Term::int(rid as i64), reply, ack.clone()],
+            ),
+            node,
+        );
+        Ok(ack)
+    }
+
+    /// Regular work pending in the engine (the backpressure gauge).
+    pub fn pending(&self) -> u64 {
+        match &self.engine {
+            Engine::Sim(_) => 0,
+            Engine::Parallel(h) => h.pending(),
+        }
+    }
+
+    /// True when the engine is globally quiescent — parked workers, no
+    /// in-flight batches; the simulator is idle whenever unlocked.
+    pub fn is_idle(&self) -> bool {
+        match &self.engine {
+            Engine::Sim(_) => true,
+            Engine::Parallel(h) => h.is_idle(),
+        }
+    }
+
+    /// Block (bounded) until the engine reads idle.
+    pub fn wait_idle(&self, timeout: Duration) -> bool {
+        match &self.engine {
+            Engine::Sim(_) => true,
+            Engine::Parallel(h) => h.wait_idle(timeout),
+        }
+    }
+
+    /// A fatal engine error has begun winding the workers down.
+    pub fn is_stopping(&self) -> bool {
+        match &self.engine {
+            Engine::Sim(_) => false,
+            Engine::Parallel(h) => h.is_stopping(),
+        }
+    }
+
+    /// Live store size (all stripes) — the soak tier's bounded-growth
+    /// probe.
+    pub fn store_len(&self) -> usize {
+        self.with_front(|m| m.store_len())
+    }
+
+    /// Worker threads behind the service (1 for the simulator).
+    pub fn threads(&self) -> usize {
+        match &self.engine {
+            Engine::Sim(_) => 1,
+            Engine::Parallel(h) => h.threads(),
+        }
+    }
+
+    /// Stop the engine and merge every shard's report (serve counters
+    /// included).
+    pub fn shutdown(self) -> StrandResult<RunReport> {
+        match self.engine {
+            Engine::Sim(m) => {
+                let mut m = m.into_inner().unwrap_or_else(|e| e.into_inner());
+                m.run()
+            }
+            Engine::Parallel(h) => h.shutdown(),
+        }
+    }
+
+    /// Run `f` on the machine that fronts the service: the simulator
+    /// itself, or the parallel ingress machine.
+    fn with_front<R>(&self, f: impl FnOnce(&mut Machine) -> R) -> R {
+        match &self.engine {
+            Engine::Sim(m) => f(&mut m.lock().unwrap_or_else(|e| e.into_inner())),
+            Engine::Parallel(h) => h.with_ingress(f),
+        }
+    }
+}
+
+/// What [`serve`] hands back after a graceful shutdown.
+pub struct ServeSummary {
+    /// The merged engine report: metrics carry the serve counters
+    /// (`sessions_opened/closed`, `requests_admitted/rejected`,
+    /// `vars_reclaimed`, `idle_parks`).
+    pub report: RunReport,
+}
+
+/// Accept loop: one thread per connection, a session per connection, one
+/// request per line. Returns after `shutdown` flips true (SIGINT in the
+/// binary): stops accepting, lets in-flight sessions drain (bounded by
+/// `drain`), then shuts the engine down and reports.
+pub fn serve(
+    listener: TcpListener,
+    service: MotifService,
+    shutdown: Arc<AtomicBool>,
+    drain: Duration,
+) -> StrandResult<ServeSummary> {
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| StrandError::Other(format!("listener: {e}")))?;
+    let service = Arc::new(service);
+    let active = Arc::new(AtomicUsize::new(0));
+    let mut handles = Vec::new();
+    while !shutdown.load(Ordering::Acquire) && !service.is_stopping() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let service = Arc::clone(&service);
+                let active = Arc::clone(&active);
+                let shutdown = Arc::clone(&shutdown);
+                active.fetch_add(1, Ordering::AcqRel);
+                let h = std::thread::Builder::new()
+                    .name("strand-conn".to_string())
+                    .spawn(move || {
+                        handle_connection(stream, &service, &shutdown);
+                        active.fetch_sub(1, Ordering::AcqRel);
+                    })
+                    .map_err(|e| StrandError::Other(format!("spawn: {e}")))?;
+                handles.push(h);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(e) => return Err(StrandError::Other(format!("accept: {e}"))),
+        }
+    }
+    drop(listener); // reject new connections while draining
+    let deadline = Instant::now() + drain;
+    while active.load(Ordering::Acquire) > 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+    let service = Arc::try_unwrap(service)
+        .map_err(|_| StrandError::Other("connection thread leaked the service".to_string()))?;
+    let report = service.shutdown()?;
+    Ok(ServeSummary { report })
+}
+
+/// One connection: a session whose requests are the incoming lines.
+/// Reads poll every 500ms so a SIGINT drain isn't blocked on a silent
+/// client; partial lines accumulate across polls.
+fn handle_connection(stream: TcpStream, service: &MotifService, shutdown: &AtomicBool) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    // One write per response, and no Nagle: a request/reply protocol of
+    // tiny frames otherwise spends ~40ms per turn in delayed-ACK limbo.
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let session = service.open_session();
+    let mut line = String::new();
+    loop {
+        if shutdown.load(Ordering::Acquire) || service.is_stopping() {
+            break;
+        }
+        match reader.read_line(&mut line) {
+            Ok(0) => break, // EOF: the client closed the session
+            Ok(_) => {
+                let request = line.trim();
+                let response = if request.is_empty() {
+                    Response::Err("empty request".to_string())
+                } else {
+                    service.request(session, request)
+                };
+                line.clear();
+                let frame = format!("{}\n", response.wire());
+                if writer.write_all(frame.as_bytes()).is_err() {
+                    break;
+                }
+                let _ = writer.flush();
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                continue; // poll tick; any partial line stays buffered
+            }
+            Err(_) => break,
+        }
+    }
+    service.close_session(session);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doubler(backend: ServeBackend) -> MotifService {
+        if matches!(backend, ServeBackend::Parallel(_)) {
+            strand_parallel::install();
+        }
+        let cfg = ServeConfig {
+            servers: 4,
+            backend,
+            ..ServeConfig::default()
+        };
+        MotifService::start(DOUBLER_APP, cfg).unwrap()
+    }
+
+    #[test]
+    fn sim_service_answers_requests_and_reclaims() {
+        let svc = doubler(ServeBackend::Sim);
+        let s = svc.open_session();
+        assert_eq!(svc.request(s, "21"), Response::Ok("42".to_string()));
+        assert_eq!(svc.request(s, "100"), Response::Ok("200".to_string()));
+        let before = svc.store_len();
+        svc.close_session(s);
+        assert!(svc.store_len() <= before, "close grew the store");
+        let report = svc.shutdown().unwrap();
+        assert_eq!(report.metrics.sessions_opened, 1);
+        assert_eq!(report.metrics.sessions_closed, 1);
+        assert_eq!(report.metrics.requests_admitted, 2);
+        assert!(report.metrics.vars_reclaimed >= 1, "{:?}", report.metrics);
+    }
+
+    #[test]
+    fn parallel_service_answers_requests_and_parks_idle() {
+        let svc = doubler(ServeBackend::Parallel(2));
+        let s = svc.open_session();
+        assert_eq!(svc.request(s, "21"), Response::Ok("42".to_string()));
+        assert!(svc.wait_idle(Duration::from_secs(5)), "no return to idle");
+        assert_eq!(svc.request(s, "-3"), Response::Ok("-6".to_string()));
+        svc.close_session(s);
+        assert!(svc.wait_idle(Duration::from_secs(5)));
+        let report = svc.shutdown().unwrap();
+        assert!(report.metrics.idle_parks >= 1, "{:?}", report.metrics);
+        assert!(report.metrics.vars_reclaimed >= 1, "{:?}", report.metrics);
+    }
+
+    #[test]
+    fn malformed_and_nonground_requests_are_rejected_politely() {
+        let svc = doubler(ServeBackend::Sim);
+        let s = svc.open_session();
+        assert!(matches!(svc.request(s, "req(1,"), Response::Err(_)));
+        assert!(matches!(svc.request(s, "f(X)"), Response::Err(_)));
+        // The session still works afterwards.
+        assert_eq!(svc.request(s, "5"), Response::Ok("10".to_string()));
+        svc.close_session(s);
+    }
+
+    #[test]
+    fn handler_error_does_not_tear_the_service_down() {
+        // A type-error payload (the doubler multiplies it) must cost that
+        // one client a timeout, never the fleet: `fail_fast` is off, so
+        // the engine collects the error and the service stays resident.
+        strand_parallel::install();
+        let cfg = ServeConfig {
+            servers: 2,
+            backend: ServeBackend::Parallel(2),
+            reply_timeout_ms: 300,
+            ..ServeConfig::default()
+        };
+        let svc = MotifService::start(DOUBLER_APP, cfg).unwrap();
+        let s = svc.open_session();
+        assert!(matches!(svc.request(s, "oops(atom)"), Response::Err(_)));
+        assert!(!svc.is_stopping(), "handler error killed the engine");
+        assert_eq!(svc.request(s, "8"), Response::Ok("16".to_string()));
+        svc.close_session(s);
+        let report = svc.shutdown().unwrap();
+        assert_eq!(report.errors.len(), 1, "{:?}", report.errors);
+    }
+
+    #[test]
+    fn echo_round_trips_compound_terms() {
+        let svc = {
+            let cfg = ServeConfig {
+                servers: 2,
+                backend: ServeBackend::Sim,
+                ..ServeConfig::default()
+            };
+            MotifService::start(ECHO_APP, cfg).unwrap()
+        };
+        let s = svc.open_session();
+        for t in ["point(1, 2)", "[a, b, [c, 4]]", "nested(f(g(h)), [1])"] {
+            match svc.request(s, t) {
+                Response::Ok(echoed) => {
+                    let want = parse_term(t).unwrap();
+                    let got = parse_term(&echoed).unwrap();
+                    assert_eq!(format!("{want:?}"), format!("{got:?}"), "echo of {t}");
+                }
+                other => panic!("echo of {t} failed: {other:?}"),
+            }
+        }
+        svc.close_session(s);
+    }
+}

@@ -6,4 +6,5 @@ pub use strand_core;
 pub use strand_machine;
 pub use strand_parallel;
 pub use strand_parse;
+pub use strand_serve;
 pub use transform;

@@ -1,0 +1,196 @@
+//! Serve conformance + soak tier (DESIGN.md §9).
+//!
+//! * **Conformance** — a request replayed through the resident service
+//!   (over loopback TCP, through the real accept loop and wire protocol)
+//!   must yield the **bit-identical** reply to the same message run batch
+//!   through `create/2` on the deterministic simulator — and the resident
+//!   engine must agree whether it is the simulator or the parallel
+//!   backend at 1, 2 or 4 worker threads. The doubler exercises arithmetic
+//!   handlers, the echo app round-trips arbitrary ground terms through
+//!   the store and back out of the renderer.
+//! * **Soak** — ≥1000 open/close session cycles must leave the store
+//!   bounded: session-close reclamation really does return slots (the
+//!   free list is reused), on both engines. Growth here would be the
+//!   week-long-process leak the region sweep exists to prevent.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use algorithmic_motifs::strand_machine::{run_parsed_goal, MachineConfig, RunStatus};
+use algorithmic_motifs::strand_parallel;
+use algorithmic_motifs::strand_serve::{
+    serve, MotifService, ServeBackend, ServeConfig, DOUBLER_APP, ECHO_APP,
+};
+
+const SERVERS: u32 = 4;
+
+fn serve_cfg(backend: ServeBackend) -> ServeConfig {
+    if matches!(backend, ServeBackend::Parallel(_)) {
+        strand_parallel::install();
+    }
+    ServeConfig {
+        servers: SERVERS,
+        backend,
+        ..ServeConfig::default()
+    }
+}
+
+/// Every engine the service can keep resident. Parallel thread counts
+/// follow the conformance ladder (1 is the exact-replica configuration).
+fn backends() -> Vec<ServeBackend> {
+    vec![
+        ServeBackend::Sim,
+        ServeBackend::Parallel(1),
+        ServeBackend::Parallel(2),
+        ServeBackend::Parallel(4),
+    ]
+}
+
+/// The batch reference: deliver `req(Payload, R)` through the library's
+/// own `create/2` on the deterministic simulator and render the bound
+/// reply — the value the resident replay must reproduce bit-for-bit.
+fn batch_reply(app: &str, payload: &str) -> String {
+    let program = algorithmic_motifs::motifs::server()
+        .apply_src(app)
+        .expect("Server motif applies");
+    let goal = format!("create({SERVERS}, req({payload}, R))");
+    let r = run_parsed_goal(&program, &goal, MachineConfig::with_nodes(SERVERS))
+        .expect("batch reference runs");
+    // The network idles awaiting further messages — quiescent, by design.
+    assert!(
+        matches!(r.report.status, RunStatus::Quiescent { .. }),
+        "{:?}",
+        r.report.status
+    );
+    r.bindings["R"].to_string()
+}
+
+/// Replay payloads through a resident service over loopback TCP — the
+/// real accept loop, wire protocol and session lifecycle — and return the
+/// reply payloads (the text after `OK `).
+fn tcp_replay(app: &str, backend: ServeBackend, payloads: &[&str]) -> Vec<String> {
+    let service = MotifService::start(app, serve_cfg(backend)).expect("service boots");
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("ephemeral addr");
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let serve_thread = {
+        let shutdown = Arc::clone(&shutdown);
+        std::thread::spawn(move || serve(listener, service, shutdown, Duration::from_secs(10)))
+    };
+
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("client timeout");
+    let _ = stream.set_nodelay(true);
+    let mut writer = stream.try_clone().expect("clone stream");
+    let mut reader = BufReader::new(stream);
+    let mut replies = Vec::new();
+    for payload in payloads {
+        writer
+            .write_all(format!("{payload}\n").as_bytes())
+            .expect("send request");
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read reply");
+        let line = line.trim();
+        let reply = line
+            .strip_prefix("OK ")
+            .unwrap_or_else(|| panic!("expected OK for {payload:?}, got {line:?}"));
+        replies.push(reply.to_string());
+    }
+    drop((reader, writer));
+    shutdown.store(true, Ordering::Release);
+    let summary = serve_thread
+        .join()
+        .expect("serve loop joins")
+        .expect("serve loop exits cleanly");
+    assert_eq!(summary.report.metrics.sessions_opened, 1);
+    assert_eq!(summary.report.metrics.sessions_closed, 1);
+    assert_eq!(
+        summary.report.metrics.requests_admitted,
+        payloads.len() as u64
+    );
+    replies
+}
+
+#[test]
+fn doubler_replay_matches_batch_on_every_backend() {
+    let payloads = ["21", "0", "-17", "1000000"];
+    let want: Vec<String> = payloads
+        .iter()
+        .map(|p| batch_reply(DOUBLER_APP, p))
+        .collect();
+    for backend in backends() {
+        let got = tcp_replay(DOUBLER_APP, backend, &payloads);
+        assert_eq!(got, want, "replay diverged from batch on {backend:?}");
+    }
+}
+
+#[test]
+fn echo_replay_matches_batch_on_every_backend() {
+    // Compound payloads: the reply round-trips through head matching, the
+    // striped store, the resolver and the renderer — any divergence in
+    // term construction between ingress and batch shows up here.
+    let payloads = [
+        "point(1, 2)",
+        "[a, b, [c, 4]]",
+        "nested(f(g(h)), [1, [2], x])",
+        "atom",
+    ];
+    let want: Vec<String> = payloads.iter().map(|p| batch_reply(ECHO_APP, p)).collect();
+    for backend in backends() {
+        let got = tcp_replay(ECHO_APP, backend, &payloads);
+        assert_eq!(got, want, "replay diverged from batch on {backend:?}");
+    }
+}
+
+/// 1000 open/close cycles, each issuing requests, probing the live store
+/// size after every close. The high-water mark across the tail must not
+/// exceed the early-cycle mark: reclamation returns every session's slots
+/// to the free list, so the store stops growing once the per-server
+/// steady state is reached.
+fn soak(backend: ServeBackend, cycles: usize) {
+    let service = MotifService::start(DOUBLER_APP, serve_cfg(backend)).expect("service boots");
+    let mut baseline = 0usize;
+    for cycle in 0..cycles {
+        let session = service.open_session();
+        for k in 0..2i64 {
+            let got = service.request(session, &(10 + k).to_string());
+            assert_eq!(
+                got,
+                algorithmic_motifs::strand_serve::Response::Ok(((10 + k) * 2).to_string()),
+                "cycle {cycle}"
+            );
+        }
+        service.close_session(session);
+        // Reclaim events ride the worker channels; idle means they landed.
+        assert!(service.wait_idle(Duration::from_secs(10)), "cycle {cycle}");
+        let len = service.store_len();
+        if cycle < 10 {
+            baseline = baseline.max(len);
+        } else {
+            assert!(
+                len <= baseline,
+                "store grew past the early high-water mark: {len} > {baseline} \
+                 after cycle {cycle} (reclamation is leaking)"
+            );
+        }
+    }
+    let report = service.shutdown().expect("clean shutdown");
+    assert_eq!(report.metrics.sessions_opened, cycles as u64);
+    assert_eq!(report.metrics.sessions_closed, cycles as u64);
+    assert!(report.metrics.vars_reclaimed > 0);
+}
+
+#[test]
+fn soak_sim_store_is_bounded_over_1000_sessions() {
+    soak(ServeBackend::Sim, 1000);
+}
+
+#[test]
+fn soak_parallel_store_is_bounded_over_1000_sessions() {
+    soak(ServeBackend::Parallel(2), 1000);
+}
