@@ -151,11 +151,16 @@ fn main() {
     if args.first().map(String::as_str) == Some("serve-json") {
         // C-series: the resident service under concurrent TCP load.
         // `--quick` runs small bursts for CI smoke; the full run's top
-        // burst is 1000 concurrent clients. `--require-cores` refuses to
-        // record on a single-core host, mirroring the B-series recorder
+        // burst is 1000 concurrent clients. `--supervised` records the
+        // Supervise ∘ Server variant (acked sends, wall-clock heartbeat
+        // and watch deadlines) — same schema, `scenario: "supervised"`,
+        // conventionally written to its own snapshot so the plain
+        // baseline stays comparable. `--require-cores` refuses to record
+        // on a single-core host, mirroring the B-series recorder
         // (loss/residency hold anywhere, but latency recorded there is
         // scheduling noise).
         let quick = args.iter().any(|a| a == "--quick");
+        let supervised = args.iter().any(|a| a == "--supervised");
         let require_cores = args.iter().any(|a| a == "--require-cores");
         let host = std::thread::available_parallelism().map_or(1, |n| n.get());
         if host <= 1 {
@@ -176,9 +181,17 @@ fn main() {
             .get(1)
             .filter(|a| !a.starts_with("--"))
             .map(String::as_str)
-            .unwrap_or("out/BENCH_serve.json");
+            .unwrap_or(if supervised {
+                "out/BENCH_serve_supervised.json"
+            } else {
+                "out/BENCH_serve.json"
+            });
         ensure_parent(path);
-        let points = bench::c1_serve(quick);
+        let points = if supervised {
+            bench::c1_serve_supervised(quick)
+        } else {
+            bench::c1_serve(quick)
+        };
         let json = bench::render_serve_json(&points);
         std::fs::write(path, &json).expect("write serve bench json");
         print!("{json}");

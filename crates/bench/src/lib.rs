@@ -24,5 +24,7 @@ pub use chaos_bench::{b3_chaos, parse_chaos_json, render_chaos_json, ChaosPoint}
 pub use compiled_bench::{b2_compiled, parse_compiled_json, render_compiled_json, CompiledPoint};
 pub use experiments::*;
 pub use parallel_bench::{b1_parallel, parse_parallel_json, render_parallel_json, ParallelPoint};
-pub use serve_bench::{c1_serve, parse_serve_json, render_serve_json, ServePoint};
+pub use serve_bench::{
+    c1_serve, c1_serve_supervised, parse_serve_json, render_serve_json, ServePoint,
+};
 pub use table::Table;

@@ -118,11 +118,16 @@ fn client_burst(addr: std::net::SocketAddr, start: &Barrier, count: u64) -> (Vec
 }
 
 /// Run one burst against a fresh resident service and fold in the
-/// service's own post-drain metrics.
-fn burst_point(clients: u64, per_client: u64) -> ServePoint {
+/// service's own post-drain metrics. `supervise` composes `Supervise`
+/// over the servers, so every request rides an acked `rsend` and the
+/// heartbeat/retransmit deadlines live on the wall-clock timer wheel —
+/// the measured delta against the plain series is the cost of residency
+/// with a safety net.
+fn burst_point(clients: u64, per_client: u64, supervise: bool) -> ServePoint {
     let cfg = ServeConfig {
         servers: 4,
         backend: ServeBackend::Parallel(0),
+        supervise,
         ..ServeConfig::default()
     };
     let service = MotifService::start(DOUBLER_APP, cfg).expect("service boots");
@@ -187,7 +192,7 @@ fn burst_point(clients: u64, per_client: u64) -> ServePoint {
     };
     let m = &summary.report.metrics;
     ServePoint {
-        scenario: "burst".to_string(),
+        scenario: if supervise { "supervised" } else { "burst" }.to_string(),
         threads,
         clients,
         requests,
@@ -214,7 +219,25 @@ pub fn c1_serve(quick: bool) -> Vec<ServePoint> {
     };
     bursts
         .iter()
-        .map(|&(clients, per_client)| burst_point(clients, per_client))
+        .map(|&(clients, per_client)| burst_point(clients, per_client, false))
+        .collect()
+}
+
+/// The supervised variant of [`c1_serve`]: identical burst shapes, same
+/// `serve-json v1` schema (the `scenario` field reads `"supervised"`), but
+/// every request is delivered through `Supervise ∘ Server` with heartbeat,
+/// retransmit and watch deadlines armed on the wall-clock wheel. Recorded
+/// to its own snapshot so the plain baseline stays comparable across runs.
+pub fn c1_serve_supervised(quick: bool) -> Vec<ServePoint> {
+    strand_parallel::install();
+    let bursts: &[(u64, u64)] = if quick {
+        &[(8, 5), (64, 5)]
+    } else {
+        &[(16, 20), (256, 10), (1000, 5)]
+    };
+    bursts
+        .iter()
+        .map(|&(clients, per_client)| burst_point(clients, per_client, true))
         .collect()
 }
 
@@ -333,7 +356,7 @@ mod tests {
                 sessions_closed: 16,
             },
             ServePoint {
-                scenario: "burst".to_string(),
+                scenario: "supervised".to_string(),
                 threads: 4,
                 clients: 1000,
                 requests: 5000,

@@ -64,6 +64,7 @@ pub(crate) fn is_builtin(name: &str, arity: usize) -> bool {
                 | "$spawn_at"
                 | "$forward"
                 | "$timer"
+                | "$timer!"
                 | "$deliver"
         ),
         3 => matches!(name, "distribute" | "put_arg" | "arg" | "after_unless"),
@@ -341,18 +342,26 @@ impl Machine {
             // fires (waking racers); if `Cancel` was bound first the pending
             // timer evaporates without advancing any clock (see
             // `Machine::run`). Backbone of the Supervise motif's retry
-            // backoff and heartbeat watchdogs.
+            // backoff and heartbeat watchdogs. Under `TimerSource::WallClock`
+            // (sharded machines only) the deadline is recorded for the
+            // backend's timer wheel instead — same cancellation contract,
+            // but 1 tick = 1 ms of real time and the fleet wakes for it.
             ("after_unless", [cancel, ticks, t]) => match eval_arith(ticks, &self.store)? {
                 Evaled::Suspend(vs) => BuiltinOutcome::Suspend(vs),
                 Evaled::Num(n) => {
                     let wait = n.as_f64().max(0.0) as u64;
                     let node = self.current_node;
-                    let deadline = self.now() + wait;
-                    self.enqueue(
-                        Term::tuple("$timer", vec![cancel.clone(), t.clone()]),
-                        node,
-                        deadline,
-                    );
+                    self.metrics.timers_armed += 1;
+                    if self.wall_timers_active() {
+                        self.arm_wall_timer(node, wait, cancel.clone(), t.clone());
+                    } else {
+                        let deadline = self.now() + wait;
+                        self.enqueue(
+                            Term::tuple("$timer", vec![cancel.clone(), t.clone()]),
+                            node,
+                            deadline,
+                        );
+                    }
                     BuiltinOutcome::Done
                 }
             },
@@ -361,8 +370,25 @@ impl Machine {
             // filtered out by the scheduler before it gets here).
             ("$timer", [cancel, t]) => {
                 if matches!(self.store.deref(cancel), Term::Var(_)) {
+                    self.metrics.timers_fired += 1;
                     self.bind_or_err(t, Term::atom("timeout"))?
                 } else {
+                    self.metrics.timers_cancelled += 1;
+                    BuiltinOutcome::Done
+                }
+            }
+
+            // A wall-clock wheel entry delivered back into the shard
+            // (`Machine::fire_wall_timer`). Same semantics as `'$timer'` at
+            // its deadline, but this goal is regular gate-counted work: the
+            // cancel flag may have been bound while the event was in flight,
+            // in which case it evaporates here.
+            ("$timer!", [cancel, t]) => {
+                if matches!(self.store.deref(cancel), Term::Var(_)) {
+                    self.metrics.timers_fired += 1;
+                    self.bind_or_err(t, Term::atom("timeout"))?
+                } else {
+                    self.metrics.timers_cancelled += 1;
                     BuiltinOutcome::Done
                 }
             }

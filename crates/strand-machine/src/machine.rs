@@ -15,7 +15,7 @@
 //! goal and config are identical, metric for metric.
 
 use crate::builtins::{is_builtin, BuiltinOutcome};
-use crate::config::{ExecMode, MachineConfig};
+use crate::config::{ExecMode, MachineConfig, TimerSource};
 use crate::exec::{self, ExecProgram, Scratch};
 use crate::metrics::Metrics;
 use crate::trace::{goal_text, TraceEvent};
@@ -122,6 +122,58 @@ fn goal_is_timer(goal: &Term) -> bool {
         goal.functor().map(|(n, a)| (n.as_str(), a)),
         Some(("$timer", 2))
     )
+}
+
+/// Deep-substitute like [`StoreHandle::resolve`], but emit at most `budget`
+/// term nodes, eliding anything deeper as the atom `'…'`.
+///
+/// The post-mortem suspended-goal diagnostic must never dominate shutdown:
+/// a suspended goal can reference heavily shared structure (the Supervise
+/// library's directory and wire records are the canonical case), and
+/// expanding that DAG into a tree is exponential in run length. A capped
+/// expansion keeps the report readable and `finalize_shard` O(1).
+fn resolve_capped(store: &StoreHandle, t: &Term, budget: &mut u32) -> Term {
+    if *budget == 0 {
+        return Term::atom("…");
+    }
+    *budget -= 1;
+    match store.deref(t) {
+        Term::Tuple(name, args) => Term::tuple(
+            name,
+            args.iter()
+                .map(|a| resolve_capped(store, a, budget))
+                .collect(),
+        ),
+        Term::List(cell) => Term::cons(
+            resolve_capped(store, &cell.0, budget),
+            resolve_capped(store, &cell.1, budget),
+        ),
+        other => other,
+    }
+}
+
+/// An `after_unless` deadline armed under [`TimerSource::WallClock`]
+/// (`crate::config::TimerSource`): instead of enqueuing a lazy `'$timer'`
+/// item, the machine records the deadline here for the parallel backend to
+/// harvest (see [`Machine::take_wall_timers`]) into its timer wheel. When
+/// the wheel fires the entry, the backend hands it back through
+/// [`Machine::fire_wall_timer`], which enqueues a `'$timer!'` goal — a
+/// *regular* (gate-counted) event, unlike `'$timer'` — so quiescence
+/// accounting treats the fired deadline as ordinary in-flight work.
+#[derive(Clone, Debug)]
+pub struct WallTimer {
+    /// Node the deadline was armed on; the fired goal runs there.
+    pub node: NodeId,
+    /// Virtual ticks to wait (the backend maps 1 tick to 1 ms).
+    pub wait: Time,
+    /// The unless-var: if bound before the deadline, the timer is cancelled.
+    pub cancel: Term,
+    /// The timeout var, bound to `timeout` when the deadline fires.
+    pub timeout: Term,
+    /// Session region the arming reduction ran under; the backend purges
+    /// wheel entries when their region is reclaimed, so a fired timer can
+    /// never touch a recycled slot.
+    pub region: u32,
 }
 
 /// What [`Machine::drain_local`] left behind.
@@ -467,6 +519,9 @@ pub struct Machine {
     /// `'$timer'` deadlines parked while the global in-flight gate is
     /// nonzero (see [`Machine::release_timers`]).
     deferred_timers: Vec<(NodeId, QItem)>,
+    /// Wall-clock deadlines armed since the last harvest
+    /// (`TimerSource::WallClock` only; see [`Machine::take_wall_timers`]).
+    pending_wall_timers: Vec<WallTimer>,
     /// Region the currently reducing process runs under; spawns from the
     /// reduction inherit it (0 outside any session — the batch default).
     current_region: u32,
@@ -529,6 +584,7 @@ impl Machine {
             outbox: Vec::new(),
             hooks: None,
             deferred_timers: Vec::new(),
+            pending_wall_timers: Vec::new(),
             current_region: 0,
         }
     }
@@ -951,6 +1007,7 @@ impl Machine {
             // cancelled timeouts must not stretch the makespan.
             if let Some(("$timer", 2)) = item.goal.functor().map(|(n, a)| (n.as_str(), a)) {
                 if !matches!(self.store.deref(&item.goal.goal_args()[0]), Term::Var(_)) {
+                    self.metrics.timers_cancelled += 1;
                     continue;
                 }
             }
@@ -1321,6 +1378,7 @@ impl Machine {
             let regular = !goal_is_timer(&item.goal);
             if !regular {
                 if !matches!(self.store.deref(&item.goal.goal_args()[0]), Term::Var(_)) {
+                    self.metrics.timers_cancelled += 1;
                     continue; // cancelled: evaporate without budget or clock
                 }
                 if self
@@ -1363,6 +1421,73 @@ impl Machine {
         !self.deferred_timers.is_empty()
     }
 
+    /// Does this machine arm `after_unless` deadlines on the wall clock?
+    /// True only for sharded machines configured with
+    /// [`TimerSource::WallClock`] — the deterministic simulator always runs
+    /// lazy virtual deadlines, whatever the config says.
+    pub(crate) fn wall_timers_active(&self) -> bool {
+        self.config.timer_source == TimerSource::WallClock && self.shard.is_some()
+    }
+
+    /// Record a wall-clock deadline for the backend to harvest
+    /// (`after_unless` under [`TimerSource::WallClock`]).
+    pub(crate) fn arm_wall_timer(&mut self, node: NodeId, wait: Time, cancel: Term, timeout: Term) {
+        self.pending_wall_timers.push(WallTimer {
+            node,
+            wait,
+            cancel,
+            timeout,
+            region: self.current_region,
+        });
+    }
+
+    /// Harvest the wall-clock deadlines armed since the last call. The
+    /// parallel backend calls this after every drain and registers the
+    /// entries into its timer wheel.
+    pub fn take_wall_timers(&mut self) -> Vec<WallTimer> {
+        std::mem::take(&mut self.pending_wall_timers)
+    }
+
+    /// True once the unless-var of an armed deadline has been bound — the
+    /// wheel prunes such entries instead of firing them. Any machine sharing
+    /// the store can answer this, whichever shard armed the timer.
+    pub fn cancel_is_bound(&self, cancel: &Term) -> bool {
+        !matches!(self.store.deref(cancel), Term::Var(_))
+    }
+
+    /// Deliver a due wheel entry back into the shard layer: enqueue a
+    /// `'$timer!'` goal on the entry's node. Unlike `'$timer'`, the fired
+    /// goal is *regular* work — [`Machine::push_item`] raises the in-flight
+    /// gate for it, and it routes through the outbox as an ordinary
+    /// [`Routed::Job`] when another worker owns the node — so the
+    /// mint-before-send token protocol sees a fired deadline exactly as it
+    /// sees any other cross-shard event. Firing at a crashed node is a
+    /// silent no-op (the deadline died with the shard; supervision recovers
+    /// through monitors on live nodes).
+    pub fn fire_wall_timer(&mut self, timer: WallTimer) {
+        let WallTimer {
+            node,
+            cancel,
+            timeout,
+            region,
+            ..
+        } = timer;
+        if self.crashed[node.0 as usize] {
+            return;
+        }
+        let pid = self.fresh_pid();
+        self.push_item(
+            node,
+            QItem {
+                ready_at: 0,
+                pid,
+                goal: Term::tuple("$timer!", vec![cancel, timeout]),
+                tracked: false,
+                region,
+            },
+        );
+    }
+
     /// Re-queue parked `'$timer'` deadlines. The worker calls this when the
     /// global in-flight gate reads zero; a timer whose cancel flag arrived
     /// in the meantime evaporates on the next drain.
@@ -1387,6 +1512,7 @@ impl Machine {
             }
         }
         self.deferred_timers.clear();
+        self.pending_wall_timers.clear();
     }
 
     /// Discard a routed batch unapplied (run aborted): settle the gate.
@@ -1446,7 +1572,10 @@ impl Machine {
             self.dead_count += items.len();
         }
         // Parked '$timer' deadlines hold no gate units; they die silently.
+        // Unharvested wall deadlines likewise: entries already in the wheel
+        // fire into the dead shard and are discarded there.
         self.deferred_timers.clear();
+        self.pending_wall_timers.clear();
         // Every suspension in this table lives on an owned node.
         let lost_suspended = self.suspended.len();
         let susps: Vec<(u64, Susp)> = self.suspended.drain().collect();
@@ -1554,7 +1683,10 @@ impl Machine {
             .suspended
             .values()
             .take(16)
-            .map(|s| self.store.resolve(&s.goal))
+            .map(|s| {
+                let mut budget = 256u32;
+                resolve_capped(&self.store, &s.goal, &mut budget)
+            })
             .collect();
         suspended_goals.sort_by_key(|t| t.to_string());
         let crashed_nodes: Vec<u32> = self

@@ -98,6 +98,19 @@ pub struct Metrics {
     /// Times a resident worker reached global quiescence and parked instead
     /// of exiting (the idle-vs-terminated distinction, DESIGN.md §9).
     pub idle_parks: u64,
+    /// `after_unless` deadlines registered, on either timer source (virtual
+    /// lazy deadlines and wall-clock wheel entries both count).
+    pub timers_armed: u64,
+    /// Timer deadlines that fired: the cancel flag was still unbound when
+    /// the deadline ran, so the timeout value was delivered.
+    pub timers_fired: u64,
+    /// Timer deadlines cancelled before firing: the cancel flag arrived
+    /// first and the deadline evaporated (scheduler filter, wheel prune, or
+    /// a fired event that found its flag bound).
+    pub timers_cancelled: u64,
+    /// Times a parked worker woke because the timer wheel's earliest
+    /// deadline fell due (wall-clock source only).
+    pub wakes_for_deadline: u64,
     /// Real (wall-clock) duration of the run in nanoseconds. Unlike every
     /// virtual-time metric above this depends on the host; backends fill it
     /// in so B-series experiments can compare engines on the same workload.
@@ -255,6 +268,10 @@ impl Metrics {
         self.requests_rejected += other.requests_rejected;
         self.vars_reclaimed += other.vars_reclaimed;
         self.idle_parks += other.idle_parks;
+        self.timers_armed += other.timers_armed;
+        self.timers_fired += other.timers_fired;
+        self.timers_cancelled += other.timers_cancelled;
+        self.wakes_for_deadline += other.wakes_for_deadline;
         for (name, count) in &other.susp_by_proc {
             *self.susp_by_proc.entry(name.clone()).or_insert(0) += count;
         }
@@ -362,6 +379,24 @@ mod tests {
         assert_eq!(a.requests_rejected, 2);
         assert_eq!(a.vars_reclaimed, 25);
         assert_eq!(a.idle_parks, 5);
+    }
+
+    #[test]
+    fn timer_counters_merge_additively() {
+        let mut a = Metrics::new(2);
+        a.timers_armed = 6;
+        a.timers_fired = 2;
+        a.wakes_for_deadline = 1;
+        let mut b = Metrics::new(2);
+        b.timers_armed = 4;
+        b.timers_fired = 1;
+        b.timers_cancelled = 3;
+        b.wakes_for_deadline = 2;
+        a.merge(&b);
+        assert_eq!(a.timers_armed, 10);
+        assert_eq!(a.timers_fired, 3);
+        assert_eq!(a.timers_cancelled, 3);
+        assert_eq!(a.wakes_for_deadline, 3);
     }
 
     #[test]

@@ -49,7 +49,15 @@
 //! anywhere (a shared gate counts it) and fires them only when the system
 //! is otherwise idle — a timeout can only be observed once the value it
 //! guards has had every chance to arrive, which is exactly the simulator's
-//! behaviour for fault-free runs. See DESIGN.md §Execution backends. The
+//! behaviour for fault-free runs. Under
+//! [`TimerSource::WallClock`](strand_machine::TimerSource) the lazy rule is
+//! replaced outright: `after_unless` deadlines register into a hashed timer
+//! wheel (1 tick = 1 ms, see `timers.rs`) that the idle-park arm consults
+//! before parking, so a fully parked fleet wakes when the earliest deadline
+//! falls due — the mode a *resident* machine needs, where "the system is
+//! idle" is precisely when timeouts must fire. Determinism is deliberately
+//! traded away there; keep the default `Virtual` source for reproducible
+//! runs. See DESIGN.md §Execution backends. The
 //! conformance harness in the workspace root (`tests/conformance.rs`)
 //! checks the contract on every inventory motif program at 1, 2, 4 and 8
 //! threads.
@@ -70,16 +78,17 @@
 
 mod quiesce;
 mod resident;
+mod timers;
 
 pub use resident::ResidentHandle;
 
-use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use parking_lot::Mutex;
 use quiesce::Tokens;
 use skeletons::WorkerSet;
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use strand_core::{SplitMix64, StrandError, StrandResult};
@@ -131,6 +140,17 @@ struct Shared {
     /// broadcasting stop, and the machine stays live for the next ingress
     /// batch. See DESIGN.md §9.
     resident: bool,
+    /// Wall-clock deadlines under [`TimerSource::WallClock`]: `after_unless`
+    /// arms into this wheel instead of the virtual-time queue, and the
+    /// idle-park arm consults it before parking so the fleet wakes when the
+    /// earliest deadline falls due. Empty for `TimerSource::Virtual` runs.
+    ///
+    /// [`TimerSource::WallClock`]: strand_machine::TimerSource::WallClock
+    wheel: timers::TimerWheel,
+    /// Bit `i` set ⇔ worker `i` has chaos-killed its shard and entered the
+    /// dead-shard loop. Ingress-side callers consult this to route external
+    /// injections at nodes that will actually reduce them.
+    dead: AtomicU64,
 }
 
 /// One worker's view of the run's [`ChaosPlan`]: its own kill deadline and
@@ -267,6 +287,8 @@ fn run_parallel(
         threads,
         chaos: config.chaos.clone(),
         resident: false,
+        wheel: timers::TimerWheel::new(),
+        dead: AtomicU64::new(0),
     });
     // Each worker takes its machine out of a slot and puts it back on exit
     // so the shard reports can be merged after the join.
@@ -346,6 +368,9 @@ fn worker_loop(shared: &Shared, me: usize, rx: &Receiver<Msg>, m: &mut Machine) 
             }
             flush_all(shared, &mut chaos, m, &mut buffers);
             m.chaos_kill();
+            if me < 64 {
+                shared.dead.fetch_or(1 << me, Ordering::Release);
+            }
             dead_loop(shared, rx, m);
             return;
         }
@@ -364,6 +389,13 @@ fn worker_loop(shared: &Shared, me: usize, rx: &Receiver<Msg>, m: &mut Machine) 
                 continue; // stopping is set; the next iteration discards
             }
         };
+        // 1b. Publish the burst's wall-clock deadlines. Arming is a local
+        // harvest — no token, no channel traffic: the entry sits in the
+        // shared wheel until a parked worker's deadline wait pops it (the
+        // pop mints the busy token; see `park`).
+        for wt in m.take_wall_timers() {
+            shared.wheel.arm(wt);
+        }
         // 2. Route the burst's cross-worker events; ship full batches.
         for r in m.take_outbox() {
             let w = r.dest_worker(shared.threads);
@@ -438,27 +470,126 @@ fn worker_loop(shared: &Shared, me: usize, rx: &Receiver<Msg>, m: &mut Machine) 
                     Err(_) => {}
                 }
                 if shared.tokens.release() {
-                    if !shared.resident {
+                    if !shared.resident && shared.wheel.is_empty() {
                         // Ours was the last token: no busy worker, no batch
-                        // in flight anywhere (see quiesce.rs). Tell everyone.
+                        // in flight anywhere (see quiesce.rs) and no wall
+                        // deadline that could still make work. Tell everyone.
                         stop(shared);
                         return;
                     }
-                    // Resident mode: global quiescence is *idle*, not
-                    // termination. Count the burst-to-idle transition (only
-                    // the last releaser ticks it, so one park per burst)
-                    // and fall through to the ordinary recv park below —
-                    // the next ingress batch re-busies us with its token.
-                    m.note_idle_park();
+                    if shared.resident {
+                        // Resident mode: global quiescence is *idle*, not
+                        // termination. Count the burst-to-idle transition
+                        // (only the last releaser ticks it, so one park per
+                        // burst) and fall through to the park below — the
+                        // next ingress batch re-busies us with its token.
+                        m.note_idle_park();
+                    }
+                    // Non-resident with a non-empty wheel: quiescent *now*,
+                    // but a pending deadline may still fire — park on it.
                 }
-                // Park. A batch arriving now wakes us and its token
-                // becomes our busy token — no counter update.
-                match rx.recv() {
-                    Ok(Msg::Batch(batch)) => m.absorb(batch),
-                    Ok(Msg::Stop) | Err(_) => return,
+                // Park. A batch arriving now wakes us and its token becomes
+                // our busy token — no counter update. A wall deadline
+                // falling due wakes us too; firing it mints a fresh token
+                // (see `park`), so quiescence accounting stays exact.
+                match park(shared, rx, m) {
+                    Parked::Batch(batch) => m.absorb(batch),
+                    Parked::Fired => {}
+                    Parked::Stop => return,
                 }
             }
         }
+    }
+}
+
+/// How a deadline-aware park ended.
+enum Parked {
+    /// A peer's batch arrived; its token became ours.
+    Batch(Vec<Routed>),
+    /// A wall deadline fell due and we fired it; we hold a freshly minted
+    /// busy token and (possibly) new local work.
+    Fired,
+    /// Stop was broadcast, the channel died, or we observed terminal
+    /// quiescence ourselves.
+    Stop,
+}
+
+/// Park until work arrives, a wall-clock deadline falls due, or the run is
+/// over. This is the idle-park arm's replacement for a plain `recv`: before
+/// blocking it consults the shared timer wheel and bounds the wait by the
+/// earliest live deadline, so a fully parked fleet still wakes to fire
+/// `after_unless` timeouts.
+///
+/// Token discipline (model-checked in `quiesce::check_timers`): the worker
+/// holds **no** token while parked. When a deadline fires, the busy token is
+/// minted **before** the wheel entry is popped — a peer scanning the counter
+/// can never observe "zero tokens, yet work is about to materialise".
+/// Racing parked workers are safe: `pop_due` removes entries under the slot
+/// lock, so every deadline fires exactly once; the losers re-release the
+/// token they minted.
+fn park(shared: &Shared, rx: &Receiver<Msg>, m: &mut Machine) -> Parked {
+    loop {
+        let (next, pruned) = shared.wheel.next_due(|c| m.cancel_is_bound(c));
+        if pruned > 0 {
+            m.metrics_mut().timers_cancelled += pruned;
+        }
+        let Some(due) = next else {
+            // No live deadline. In a finite run whose every token has been
+            // surrendered nothing can ever wake us again — an all-cancelled
+            // wheel must stop the fleet, not hang it.
+            if !shared.resident && shared.tokens.is_zero() {
+                stop(shared);
+                return Parked::Stop;
+            }
+            return match rx.recv() {
+                Ok(Msg::Batch(batch)) => Parked::Batch(batch),
+                Ok(Msg::Stop) | Err(_) => Parked::Stop,
+            };
+        };
+        let now = shared.wheel.now_ms();
+        if due > now {
+            match rx.recv_timeout(Duration::from_millis(due - now)) {
+                Ok(Msg::Batch(batch)) => return Parked::Batch(batch),
+                Ok(Msg::Stop) | Err(RecvTimeoutError::Disconnected) => return Parked::Stop,
+                Err(RecvTimeoutError::Timeout) => {}
+            }
+        }
+        // The deadline fell due. Mint our busy token BEFORE touching the
+        // wheel — the mirror of mint-before-send for batches.
+        shared.tokens.add();
+        let (fired, pruned) = shared
+            .wheel
+            .pop_due(shared.wheel.now_ms(), |c| m.cancel_is_bound(c));
+        if pruned > 0 {
+            m.metrics_mut().timers_cancelled += pruned;
+        }
+        if fired.is_empty() {
+            // A racing parked peer popped every due entry (or the cancels
+            // bound meanwhile). Give the token back; if ours was the last,
+            // quiescence has genuinely been reached.
+            if shared.tokens.release() && !shared.resident && shared.wheel.is_empty() {
+                stop(shared);
+                return Parked::Stop;
+            }
+            continue;
+        }
+        m.metrics_mut().wakes_for_deadline += 1;
+        for wt in fired {
+            m.fire_wall_timer(wt);
+        }
+        // Route cross-shard fires directly: each batch mints its own token
+        // and bypasses the chaos drop/dup filter, like ingress injections —
+        // a fired deadline is scheduler work, not a network message.
+        let mut bufs: Vec<Vec<Routed>> = (0..shared.threads).map(|_| Vec::new()).collect();
+        for r in m.take_outbox() {
+            bufs[r.dest_worker(shared.threads)].push(r);
+        }
+        for (w, buf) in bufs.into_iter().enumerate() {
+            if !buf.is_empty() {
+                send_batch(shared, w, buf);
+            }
+        }
+        return Parked::Fired;
     }
 }
 
@@ -485,8 +616,18 @@ fn dead_loop(shared: &Shared, rx: &Receiver<Msg>, m: &mut Machine) {
             }
         }
         if shared.tokens.release() {
-            stop(shared);
-            return;
+            // Resident machines outlive quiescence even when a shard is
+            // dead — the supervisor on the surviving shards is about to
+            // make more work. Terminal quiescence also can't be announced
+            // while a live worker still parks on a wall deadline; once
+            // every worker is dead, pending deadlines can never produce
+            // observable work and must not hold the run open.
+            let all_dead =
+                shared.dead.load(Ordering::Acquire).count_ones() as usize >= shared.threads.min(64);
+            if !shared.resident && (shared.wheel.is_empty() || all_dead) {
+                stop(shared);
+                return;
+            }
         }
         match rx.recv() {
             // The batch's token became ours on arrival; the loop top
@@ -778,6 +919,49 @@ mod tests {
         assert_eq!(r.bindings["B"].to_string(), "21");
         assert_eq!(r.bindings["C"].to_string(), "31");
         assert_eq!(r.bindings["D"].to_string(), "41");
+    }
+
+    #[test]
+    fn wall_clock_timer_fires_while_fleet_is_parked() {
+        // Under TimerSource::WallClock the deadline lands in the shared
+        // wheel; every worker goes idle, surrenders its token and parks —
+        // and the fleet must wake ~30ms later to fire the timeout. Under
+        // the default Virtual source this same program fires the timer
+        // lazily at quiescence; here quiescence alone must NOT end the run.
+        let src = "go(V) :- after_unless(C, 30, V).";
+        let r = run_goal(src, "go(V)", par(2).wall_clock_timers()).unwrap();
+        assert!(
+            matches!(r.report.status, RunStatus::Completed),
+            "{:?}",
+            r.report.status
+        );
+        assert_eq!(r.bindings["V"].to_string(), "timeout");
+        assert_eq!(r.report.metrics.timers_armed, 1, "{:?}", r.report.metrics);
+        assert_eq!(r.report.metrics.timers_fired, 1, "{:?}", r.report.metrics);
+        assert!(r.report.metrics.wakes_for_deadline >= 1);
+    }
+
+    #[test]
+    fn cancelled_wall_timer_neither_fires_nor_hangs_the_run() {
+        // The cancel binds immediately; the hour-long deadline must be
+        // pruned at the park boundary and the run must stop at quiescence
+        // instead of sleeping on a dead wheel entry.
+        let src = "go(V) :- after_unless(C, 3600000, V), C := done.";
+        let t0 = Instant::now();
+        let r = run_goal(src, "go(V)", par(2).wall_clock_timers()).unwrap();
+        assert!(
+            t0.elapsed() < Duration::from_secs(60),
+            "run hung on a cancelled deadline"
+        );
+        assert!(matches!(r.report.status, RunStatus::Completed));
+        assert_ne!(r.bindings["V"].to_string(), "timeout");
+        assert_eq!(r.report.metrics.timers_armed, 1);
+        assert_eq!(r.report.metrics.timers_fired, 0);
+        assert_eq!(
+            r.report.metrics.timers_cancelled, 1,
+            "{:?}",
+            r.report.metrics
+        );
     }
 
     #[test]

@@ -422,6 +422,242 @@ mod model {
         Ok(seen.len())
     }
 
+    /// Worker states for the *timer* variant of the model: busy workers may
+    /// arm wall-clock deadlines into a shared wheel, and a **parked** worker
+    /// may wake for a due deadline — the new transition PR 10's park loop
+    /// adds. Firing is a two-step critical section, mirroring `park` in
+    /// `lib.rs`: mint the busy token, then pop the wheel entry into
+    /// runnable work.
+    #[derive(Clone, PartialEq, Eq, Hash)]
+    enum T {
+        Busy {
+            sends_left: u8,
+            arms_left: u8,
+            mid_send: Option<u8>,
+        },
+        /// Halfway through firing a due deadline. In the shipped order the
+        /// token is already minted and the wheel entry still in place; in
+        /// the broken order the entry is already popped (work exists!) and
+        /// the token not yet minted.
+        MidFire,
+        Parked,
+        Done,
+    }
+
+    #[derive(Clone, PartialEq, Eq, Hash)]
+    struct TimerState {
+        tokens: u64,
+        /// Armed, not-yet-fired wheel entries. Wall time is abstracted
+        /// away: a deadline may fall due at any moment, so a parked worker
+        /// with `wheel > 0` can always attempt a fire.
+        wheel: u8,
+        queues: Vec<u8>,
+        workers: Vec<T>,
+    }
+
+    /// Park/wake/fire exploration: like [`check`] but busy workers may arm
+    /// deadlines (`arms_each` per worker) and parked workers race to fire
+    /// them. Invariants:
+    ///
+    /// 1. *No early announce* — quiescence is never declared while a batch
+    ///    is unreceived, a peer is busy, **or a peer is mid-fire** (a
+    ///    popped deadline is work that will run).
+    /// 2. *No stuck state* — a pending deadline never strands the run: the
+    ///    fleet parks on it instead of announcing, fires it, and announces
+    ///    once the wheel is dry.
+    ///
+    /// `mint_before_fire` picks the protocol variant: `true` is the shipped
+    /// order (token minted before the wheel entry is popped); `false` seeds
+    /// the bug where a parked worker takes the entry first and mints after
+    /// — a peer can then release the "last" token and announce while the
+    /// fired work is about to run. The negative test below proves the
+    /// checker catches exactly that — the timer-wheel mirror of the
+    /// enqueue-before-inc bug of [`check`].
+    fn check_timers(
+        threads: usize,
+        sends_each: u8,
+        arms_each: u8,
+        mint_before_fire: bool,
+    ) -> Result<usize, String> {
+        let init = TimerState {
+            tokens: threads as u64,
+            wheel: 0,
+            queues: vec![0; threads],
+            workers: vec![
+                T::Busy {
+                    sends_left: sends_each,
+                    arms_left: arms_each,
+                    mid_send: None
+                };
+                threads
+            ],
+        };
+        let mut seen = HashSet::new();
+        let mut stack = vec![init];
+        while let Some(s) = stack.pop() {
+            if !seen.insert(s.clone()) {
+                continue;
+            }
+            let before = stack.len();
+            for i in 0..threads {
+                match s.workers[i].clone() {
+                    T::Done => {}
+                    T::Busy {
+                        sends_left,
+                        arms_left,
+                        mid_send: Some(to),
+                    } => {
+                        let mut n = s.clone();
+                        n.queues[to as usize] += 1;
+                        n.workers[i] = T::Busy {
+                            sends_left,
+                            arms_left,
+                            mid_send: None,
+                        };
+                        stack.push(n);
+                    }
+                    T::Busy {
+                        sends_left,
+                        arms_left,
+                        mid_send: None,
+                    } => {
+                        if sends_left > 0 {
+                            for to in (0..threads).filter(|&to| to != i) {
+                                let mut n = s.clone();
+                                n.tokens += 1; // inc BEFORE send
+                                n.workers[i] = T::Busy {
+                                    sends_left: sends_left - 1,
+                                    arms_left,
+                                    mid_send: Some(to as u8),
+                                };
+                                stack.push(n);
+                            }
+                        }
+                        // Arm a deadline: a local harvest into the shared
+                        // wheel — no token, no channel traffic (the fire
+                        // mints, not the arm).
+                        if arms_left > 0 {
+                            let mut n = s.clone();
+                            n.wheel += 1;
+                            n.workers[i] = T::Busy {
+                                sends_left,
+                                arms_left: arms_left - 1,
+                                mid_send: None,
+                            };
+                            stack.push(n);
+                        }
+                        if s.queues[i] > 0 {
+                            let mut n = s.clone();
+                            n.queues[i] -= 1;
+                            n.tokens -= 1;
+                            stack.push(n);
+                        }
+                        // Go idle. With deadlines still armed, surrendering
+                        // the last token is NOT terminal quiescence — the
+                        // worker parks on the wheel instead of announcing.
+                        let mut n = s.clone();
+                        n.tokens -= 1;
+                        if n.tokens == 0 && n.wheel == 0 {
+                            let unreceived: u8 = n.queues.iter().sum();
+                            let live_peer = (0..threads).any(|j| {
+                                j != i && matches!(n.workers[j], T::Busy { .. } | T::MidFire)
+                            });
+                            if unreceived > 0 || live_peer {
+                                return Err(format!(
+                                    "worker {i} announced quiescence with \
+                                     {unreceived} unreceived batch(es), live peer: {live_peer}"
+                                ));
+                            }
+                            for w in &mut n.workers {
+                                *w = T::Done;
+                            }
+                        } else {
+                            n.workers[i] = T::Parked;
+                        }
+                        stack.push(n);
+                    }
+                    T::MidFire => {
+                        // Second half of the fire critical section; the
+                        // worker comes up busy with the fired timer as
+                        // local work (which may send once).
+                        let mut n = s.clone();
+                        if mint_before_fire && n.wheel == 0 {
+                            // Lost the pop race: peers minted for the same
+                            // entry and one of them took it. Re-release the
+                            // token we minted — the `fired.is_empty()` path
+                            // of `park` — which may complete quiescence.
+                            n.tokens -= 1;
+                            if n.tokens == 0 {
+                                let unreceived: u8 = n.queues.iter().sum();
+                                let live_peer = (0..threads).any(|j| {
+                                    j != i && matches!(n.workers[j], T::Busy { .. } | T::MidFire)
+                                });
+                                if unreceived > 0 || live_peer {
+                                    return Err(format!(
+                                        "worker {i} announced quiescence with \
+                                         {unreceived} unreceived batch(es), live peer: {live_peer}"
+                                    ));
+                                }
+                                for w in &mut n.workers {
+                                    *w = T::Done;
+                                }
+                            } else {
+                                n.workers[i] = T::Parked;
+                            }
+                            stack.push(n);
+                        } else {
+                            if mint_before_fire {
+                                n.wheel -= 1;
+                            } else {
+                                n.tokens += 1;
+                            }
+                            n.workers[i] = T::Busy {
+                                sends_left: 1,
+                                arms_left: 0,
+                                mid_send: None,
+                            };
+                            stack.push(n);
+                        }
+                    }
+                    T::Parked => {
+                        if s.queues[i] > 0 {
+                            let mut n = s.clone();
+                            n.queues[i] -= 1;
+                            n.workers[i] = T::Busy {
+                                sends_left: 1,
+                                arms_left: 0,
+                                mid_send: None,
+                            };
+                            stack.push(n);
+                        }
+                        // A deadline fell due: begin the two-step fire.
+                        if s.wheel > 0 {
+                            let mut n = s.clone();
+                            if mint_before_fire {
+                                n.tokens += 1;
+                            } else {
+                                n.wheel -= 1;
+                            }
+                            n.workers[i] = T::MidFire;
+                            stack.push(n);
+                        }
+                    }
+                }
+            }
+            // Terminal-state check: nothing pushed ⇒ no transitions.
+            if stack.len() == before && !s.workers.iter().all(|w| matches!(w, T::Done)) {
+                return Err(format!(
+                    "stuck state: tokens={}, wheel={}, {} unreceived batch(es), \
+                     run never terminates",
+                    s.tokens,
+                    s.wheel,
+                    s.queues.iter().map(|&q| q as u64).sum::<u64>(),
+                ));
+            }
+        }
+        Ok(seen.len())
+    }
+
     #[test]
     fn inc_before_send_never_announces_early_2_workers() {
         let states = check(2, 3, true).expect("protocol invariant");
@@ -463,6 +699,30 @@ mod model {
         // nothing about its power over the dead-shard protocol.
         let err = check_chaos(2, 2, false).expect_err("token-dropping bug must be caught");
         assert!(err.contains("stuck state"), "{err}");
+    }
+
+    #[test]
+    fn timer_wakes_preserve_quiescence_2_workers() {
+        let states = check_timers(2, 2, 2, true).expect("timer protocol invariant");
+        assert!(states > 100, "trivial state space: {states}");
+    }
+
+    #[test]
+    fn timer_wakes_preserve_quiescence_3_workers() {
+        let states = check_timers(3, 1, 1, true).expect("timer protocol invariant");
+        assert!(states > 500, "trivial state space: {states}");
+    }
+
+    #[test]
+    fn checker_catches_wake_after_park_without_minting() {
+        // The broken order: a parked worker pops the due wheel entry FIRST
+        // and mints its busy token after. In the window between, a peer can
+        // surrender the "last" token over an empty wheel and announce
+        // quiescence while the fired deadline's work is about to run. The
+        // checker must catch it — the timer mirror of the send-before-inc
+        // bug — otherwise the two passing tests above prove nothing.
+        let err = check_timers(2, 1, 1, false).expect_err("pop-before-mint bug must be caught");
+        assert!(err.contains("announced quiescence"), "{err}");
     }
 
     #[test]

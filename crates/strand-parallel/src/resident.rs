@@ -25,8 +25,14 @@
 //!   shard's suspensions and store stripe for the region inline with its
 //!   normal scheduling — no stop-the-world.
 //!
-//! Chaos plans are rejected: fault injection assumes a run that ends, and
-//! a killed shard would silently black-hole every session routed to it.
+//! Virtual-time fault plans are rejected (they need the simulator's clock),
+//! but wall-clock [`ChaosPlan`](strand_machine::ChaosPlan)s are accepted:
+//! a supervised resident
+//! program (the `Supervise ∘ Server` composition) is exactly the thing that
+//! is *supposed* to survive a killed shard, and the chaos-on-serve
+//! conformance tier drives it through this path. Callers routing external
+//! injections should consult [`ResidentHandle::dead_shards`] so new
+//! sessions land on shards that will actually reduce them.
 
 use crate::quiesce::Tokens;
 use crate::{resolve_threads, send_batch, stop, worker_loop, Msg, Shared, CHANNEL_CAP};
@@ -35,14 +41,13 @@ use parking_lot::Mutex;
 use skeletons::WorkerSet;
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::sync::Mutex as StdMutex;
 use std::time::{Duration, Instant};
 use strand_core::{StrandError, StrandResult, Term};
 use strand_machine::{
-    ast_to_term, merge_shard_reports, ChaosPlan, ForeignLib, Machine, MachineConfig, Routed,
-    RunReport,
+    ast_to_term, merge_shard_reports, ForeignLib, Machine, MachineConfig, Routed, RunReport,
 };
 use strand_parse::{compile_program, parse_term, Program};
 
@@ -76,13 +81,15 @@ impl ResidentHandle {
         config: MachineConfig,
         lib: &ForeignLib,
     ) -> StrandResult<ResidentHandle> {
-        if !config.faults.is_empty() || !config.chaos.is_empty() {
+        if !config.faults.is_empty() {
             return Err(StrandError::UnsupportedFaultPlan {
                 backend: "resident".to_string(),
-                plan: "fault/chaos injection".to_string(),
-                hint: "resident mode keeps the machine alive indefinitely; \
-                       fault plans assume a run that terminates. Run chaos \
-                       tiers through the batch entry points instead"
+                plan: "virtual-time (FaultPlan)".to_string(),
+                hint: "virtual-time fault plans need the deterministic \
+                       simulator's clock; for wall-clock fault injection on \
+                       a resident machine use MachineConfig::chaos \
+                       (ChaosPlan) — a supervised program recovers from the \
+                       injected shard kills"
                     .to_string(),
             });
         }
@@ -130,8 +137,10 @@ impl ResidentHandle {
             fatal: Mutex::new(None),
             world,
             threads,
-            chaos: ChaosPlan::default(),
+            chaos: config.chaos.clone(),
             resident: true,
+            wheel: crate::timers::TimerWheel::new(),
+            dead: AtomicU64::new(0),
         });
         let slots: Arc<Vec<Mutex<Option<Machine>>>> =
             Arc::new(machines.into_iter().map(|m| Mutex::new(Some(m))).collect());
@@ -192,6 +201,12 @@ impl ResidentHandle {
         for r in m.take_outbox() {
             bufs[r.dest_worker(self.threads)].push(r);
         }
+        // Ingress never reduces, so it should never *arm* — but if a caller
+        // ever drives a reduction through it, losing the deadline silently
+        // would be worse than arming it here.
+        for wt in m.take_wall_timers() {
+            self.shared.wheel.arm(wt);
+        }
         drop(m);
         for (w, batch) in bufs.into_iter().enumerate() {
             if !batch.is_empty() {
@@ -206,9 +221,31 @@ impl ResidentHandle {
     /// events carry quiescence tokens like any batch, so reclamation is
     /// complete once the machine next reads idle.
     pub fn reclaim(&self, region: u32) {
+        // Purge the session's wall deadlines first: a wheel entry that
+        // outlived its region could fire into a *recycled* store slot and
+        // bind some other session's variable.
+        self.shared.wheel.purge_region(region);
         for w in 0..self.threads {
             send_batch(&self.shared, w, vec![Routed::Reclaim { region, worker: w }]);
         }
+    }
+
+    /// Milliseconds until the earliest wall-clock deadline in the wheel
+    /// (minimum 1), or `None` when no deadline is pending. The serve layer
+    /// derives its BUSY retry hint from this: "come back when the scheduler
+    /// next plans to wake" beats a fixed hint when the fleet is parked on a
+    /// supervision beat.
+    pub fn timer_horizon_ms(&self) -> Option<u64> {
+        let due = self.shared.wheel.next_due_raw()?;
+        Some(due.saturating_sub(self.shared.wheel.now_ms()).max(1))
+    }
+
+    /// Bitmask of workers whose shards a
+    /// [`ChaosPlan`](strand_machine::ChaosPlan) has killed (bit `i`
+    /// ⇔ worker `i` is dead). Route external injections at nodes owned by
+    /// live workers — a goal delivered to a dead shard is discarded.
+    pub fn dead_shards(&self) -> u64 {
+        self.shared.dead.load(Ordering::Acquire)
     }
 
     /// Regular (non-timer) work pending anywhere — the backpressure gauge
@@ -288,6 +325,7 @@ impl ResidentHandle {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use strand_machine::ChaosPlan;
     use strand_parse::parse_program;
 
     fn handle(threads: u32) -> ResidentHandle {
@@ -328,18 +366,54 @@ mod tests {
     }
 
     #[test]
-    fn chaos_plans_are_rejected_in_resident_mode() {
+    fn fault_plans_are_rejected_in_resident_mode() {
         let program = parse_program("boot.").unwrap();
         let cfg = MachineConfig::with_nodes(2)
             .parallel(2)
-            .chaos(ChaosPlan::default().kill(1, 0));
+            .faults(strand_machine::FaultPlan::default().crash(1, 100));
         let err = match ResidentHandle::start(&program, "boot", cfg, &ForeignLib::default()) {
             Err(e) => e,
-            Ok(_) => panic!("chaos plan accepted in resident mode"),
+            Ok(_) => panic!("virtual-time fault plan accepted in resident mode"),
         };
         assert!(
             matches!(err, StrandError::UnsupportedFaultPlan { .. }),
             "{err}"
         );
+        // The hint must steer the user to the wall-clock analogue.
+        assert!(err.to_string().contains("ChaosPlan"), "{err}");
+    }
+
+    #[test]
+    fn chaos_plans_are_accepted_and_kills_surface_in_dead_shards() {
+        // Kill worker 1 immediately. The resident machine must (a) start,
+        // (b) keep answering on the surviving shard, and (c) report the
+        // dead worker through `dead_shards` so callers can route around it.
+        let program = parse_program("boot. double(X, Y) :- Y := X * 2.").unwrap();
+        let cfg = MachineConfig::with_nodes(4)
+            .parallel(2)
+            .chaos(ChaosPlan::default().kill(1, 0));
+        let h = ResidentHandle::start(&program, "boot", cfg, &ForeignLib::default()).unwrap();
+        assert!(h.wait_idle(Duration::from_secs(5)), "boot never drained");
+        // Worker 1's kill deadline is reduction 0; it dies at its first
+        // loop top. Wait for the bit to show up.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while h.dead_shards() & 0b10 == 0 {
+            assert!(Instant::now() < deadline, "worker 1 never died");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // The surviving shard still answers: node 1 belongs to worker 0.
+        let vars = h.with_ingress(|m| {
+            m.set_session_region(8);
+            let ast = parse_term("double(21, V)").unwrap();
+            let mut vars = BTreeMap::new();
+            let goal = ast_to_term(&ast, m, &mut vars);
+            m.inject(goal, 1);
+            vars
+        });
+        assert!(h.wait_idle(Duration::from_secs(5)), "request never drained");
+        let v = h.with_ingress(|m| m.store().resolve(&vars["V"]));
+        assert_eq!(v.to_string(), "42");
+        let report = h.shutdown().unwrap();
+        assert_eq!(report.metrics.shards_killed, 1, "{:?}", report.metrics);
     }
 }

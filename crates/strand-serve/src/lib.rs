@@ -53,7 +53,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use strand_core::{StrandError, StrandResult, Term};
-use strand_machine::{ast_to_term, ForeignLib, Machine, MachineConfig, RunReport};
+use strand_machine::{ast_to_term, ChaosPlan, ForeignLib, Machine, MachineConfig, RunReport};
 use strand_parallel::ResidentHandle;
 use strand_parse::{compile_program, parse_term};
 
@@ -102,10 +102,24 @@ pub struct ServeConfig {
     /// Admission high-water mark on the engine's regular-work gauge;
     /// requests arriving above it are answered `BUSY`.
     pub max_pending: u64,
-    /// The retry delay a backpressured client is told to wait.
+    /// The retry delay a backpressured client is told to wait. Under
+    /// `supervise` this is an upper bound: the hint is derived from the
+    /// timer wheel's next-due horizon when that is sooner (see
+    /// [`MotifService::busy_hint`]).
     pub retry_ms: u64,
     /// How long a request waits for its reply before answering `ERR`.
     pub reply_timeout_ms: u64,
+    /// Run the application under `Supervise ∘ Server` instead of plain
+    /// `Server`: acked, retried delivery plus heartbeat monitors that
+    /// restart a dead server's loop on a surviving node. Requires the
+    /// parallel backend — supervision timers are wall-clock
+    /// (`TimerSource::WallClock`), which the simulator cannot honour.
+    pub supervise: bool,
+    /// Wall-clock fault plan injected into the resident fleet (shard
+    /// kills, batch drop/dup). Only meaningful with `supervise`: an
+    /// unsupervised service black-holes every session routed to a killed
+    /// shard.
+    pub chaos: ChaosPlan,
 }
 
 impl Default for ServeConfig {
@@ -116,6 +130,8 @@ impl Default for ServeConfig {
             max_pending: 10_000,
             retry_ms: 25,
             reply_timeout_ms: 10_000,
+            supervise: false,
+            chaos: ChaosPlan::default(),
         }
     }
 }
@@ -226,8 +242,22 @@ impl MotifService {
     /// with no initial traffic, and leave it resident (idle) awaiting
     /// requests.
     pub fn start(app_src: &str, cfg: ServeConfig) -> StrandResult<MotifService> {
+        if matches!(cfg.backend, ServeBackend::Sim) && (cfg.supervise || !cfg.chaos.is_empty()) {
+            return Err(StrandError::Other(
+                "supervised / chaos serving needs the parallel backend: \
+                 supervision heartbeats are wall-clock timers and the \
+                 simulator's virtual clock only advances while a burst is \
+                 reducing"
+                    .to_string(),
+            ));
+        }
         let full_src = format!("{app_src}{SERVE_BOOT}");
-        let program = motifs::server()
+        let motif = if cfg.supervise {
+            motifs::supervised_server()
+        } else {
+            motifs::server()
+        };
+        let program = motif
             .apply_src(&full_src)
             .map_err(|e| StrandError::Other(e.to_string()))?;
         let bus = Arc::new(ReplyBus::default());
@@ -255,6 +285,14 @@ impl MotifService {
         // A bad request must not tear the service down mid-session:
         // handler errors are collected, the client times out instead.
         mcfg.fail_fast = false;
+        if cfg.supervise {
+            // Supervision timing (heartbeats, watch windows, retransmit
+            // backoff) must run on real time: a resident fleet parks at
+            // quiescence, which under the lazy virtual rule is exactly
+            // when deadlines would wait forever. 1 tick = 1 ms.
+            mcfg = mcfg.wall_clock_timers();
+        }
+        mcfg.chaos = cfg.chaos.clone();
         let boot_goal = format!("serve_boot({}, DT)", cfg.servers);
         let engine = match cfg.backend {
             ServeBackend::Sim => {
@@ -342,24 +380,25 @@ impl MotifService {
         // so its gauge only matters under concurrent sessions.
         if self.pending() > self.cfg.max_pending {
             self.with_front(|m| m.metrics_mut().requests_rejected += 1);
-            return Response::Busy(self.cfg.retry_ms);
+            return Response::Busy(self.busy_hint());
         }
         let ast = match parse_term(line) {
             Ok(a) => a,
             Err(e) => return Response::Err(format!("parse: {e}")),
         };
         let rid = self.next_rid.fetch_add(1, Ordering::Relaxed) + 1;
-        let node = (self.round_robin.fetch_add(1, Ordering::Relaxed) % u64::from(self.cfg.servers))
-            as i64
-            + 1;
+        let node = self.pick_node();
         let dt = self.dt.clone();
         let timeout = Duration::from_millis(self.cfg.reply_timeout_ms);
         match &self.engine {
+            Engine::Parallel(h) if self.cfg.supervise => {
+                self.supervised_request(h, session, &ast, rid, node, dt, timeout)
+            }
             Engine::Parallel(h) => {
-                let ack = match h
-                    .with_ingress(|m| Self::inject_request(m, session, &ast, rid, node, dt))
+                let (_, ack) = match h
+                    .with_ingress(|m| self.inject_request(m, session, &ast, rid, node, dt))
                 {
-                    Ok(ack) => ack,
+                    Ok(pair) => pair,
                     Err(resp) => return resp,
                 };
                 let got = self.bus.wait(rid, timeout);
@@ -395,7 +434,7 @@ impl MotifService {
             }
             Engine::Sim(m) => {
                 let mut m = m.lock().unwrap_or_else(|e| e.into_inner());
-                if let Err(resp) = Self::inject_request(&mut m, session, &ast, rid, node, dt) {
+                if let Err(resp) = self.inject_request(&mut m, session, &ast, rid, node, dt) {
                     return resp;
                 }
                 if let Err(e) = m.run() {
@@ -410,18 +449,23 @@ impl MotifService {
     }
 
     /// Build and enqueue the two goals for one request on `m` (the ingress
-    /// machine or the simulator). `Ok` carries the `'$serve_reply'` ack
-    /// variable (bound by the engine once the reply has been delivered —
-    /// the parallel path uses it to confirm the request's binds have all
-    /// landed); `Err` carries the client-facing response.
+    /// machine or the simulator). `Ok` carries the reply variable and the
+    /// `'$serve_reply'` ack variable (bound by the engine once the reply
+    /// has been delivered — the parallel path uses it to confirm the
+    /// request's binds have all landed); `Err` carries the client-facing
+    /// response. Supervised services route through `rsend` — the motif
+    /// library's acked, retransmitted send — instead of the fire-and-forget
+    /// `distribute`, so a killed shard's dropped envelope is retried
+    /// against the restarted server.
     fn inject_request(
+        &self,
         m: &mut Machine,
         session: Session,
         ast: &strand_parse::Ast,
         rid: u64,
         node: i64,
         dt: Term,
-    ) -> Result<Term, Response> {
+    ) -> Result<(Term, Term), Response> {
         m.set_session_region(session.region);
         let mut vars = BTreeMap::new();
         let q = ast_to_term(ast, m, &mut vars);
@@ -433,9 +477,14 @@ impl MotifService {
         let reply = Term::Var(m.store_mut().new_var());
         let ack = Term::Var(m.store_mut().new_var());
         m.metrics_mut().requests_admitted += 1;
+        let send = if self.cfg.supervise {
+            "rsend"
+        } else {
+            "distribute"
+        };
         m.inject(
             Term::tuple(
-                "distribute",
+                send,
                 vec![
                     Term::int(node),
                     dt,
@@ -447,11 +496,172 @@ impl MotifService {
         m.inject(
             Term::tuple(
                 "$serve_reply",
-                vec![Term::int(rid as i64), reply, ack.clone()],
+                vec![Term::int(rid as i64), reply.clone(), ack.clone()],
             ),
             node,
         );
-        Ok(ack)
+        Ok((reply, ack))
+    }
+
+    /// The entry node for the next request: round-robin over the server
+    /// directory, skipping nodes whose owning worker a chaos plan has
+    /// killed — a goal injected at a dead shard is silently discarded,
+    /// which for an ingress request means a lost client.
+    fn pick_node(&self) -> i64 {
+        let servers = i64::from(self.cfg.servers);
+        let start =
+            (self.round_robin.fetch_add(1, Ordering::Relaxed) % u64::from(self.cfg.servers)) as i64;
+        let Engine::Parallel(h) = &self.engine else {
+            return start + 1;
+        };
+        let dead = h.dead_shards();
+        if dead == 0 {
+            return start + 1;
+        }
+        let threads = h.threads();
+        for k in 0..servers {
+            let node = (start + k) % servers + 1;
+            let worker = (node - 1) as usize % threads;
+            if worker >= 64 || dead & (1 << worker) == 0 {
+                return node;
+            }
+        }
+        // Every worker is dead; nothing can answer. Inject anywhere and
+        // let the reply timeout surface the outage.
+        start + 1
+    }
+
+    /// The delay a `BUSY` response advertises. Unsupervised services
+    /// answer the configured `retry_ms` verbatim. A supervised service
+    /// knows better: the timer wheel's next-due horizon is when the parked
+    /// fleet will next wake (a retransmit or heartbeat beat) and drain the
+    /// backlog the client is being bounced off — advertise the earlier of
+    /// the two rather than a hint that is stale the moment the wheel
+    /// fires.
+    pub fn busy_hint(&self) -> u64 {
+        match &self.engine {
+            Engine::Parallel(h) if self.cfg.supervise => match h.timer_horizon_ms() {
+                Some(horizon) => horizon.clamp(1, self.cfg.retry_ms),
+                None => self.cfg.retry_ms,
+            },
+            _ => self.cfg.retry_ms,
+        }
+    }
+
+    /// One supervised request. Beyond the plain path's inject-and-wait,
+    /// this survives a shard kill mid-request: the reply is awaited in
+    /// slices, and on each slice boundary (a) the reply variable itself is
+    /// ground-checked through the ingress machine — the handler's bind is
+    /// durable in the shared store even when the `'$serve_reply'` probe
+    /// suspension died with its shard — and (b) if the dead-shard mask
+    /// grew since the last send, or a quiet re-send period elapsed, the
+    /// whole request (`rsend` plus a fresh reply probe, same reply
+    /// variable) is re-injected at a live node. The re-send is the ingress
+    /// mirror of the supervisor's own restart-and-replay: the original
+    /// `rsend` goal itself can be lost — injected at a node whose worker
+    /// died before reducing it, or its retransmits exhausted during the
+    /// restart window — and no amount of probe re-registration recovers a
+    /// request that no server ever saw. At-least-once delivery is exactly
+    /// what `Supervise` demands of its handlers anyway (replay-tolerant,
+    /// test-and-set binds), so a duplicate arrival is benign.
+    #[allow(clippy::too_many_arguments)]
+    fn supervised_request(
+        &self,
+        h: &ResidentHandle,
+        session: Session,
+        ast: &strand_parse::Ast,
+        rid: u64,
+        node: i64,
+        dt: Term,
+        timeout: Duration,
+    ) -> Response {
+        let mut dead_seen = h.dead_shards();
+        let (reply, mut ack) =
+            match h.with_ingress(|m| self.inject_request(m, session, ast, rid, node, dt.clone())) {
+                Ok(pair) => pair,
+                Err(resp) => return resp,
+            };
+        let deadline = Instant::now() + timeout;
+        let slice = Duration::from_millis(250);
+        let resend_every = Duration::from_secs(2);
+        let mut last_send = Instant::now();
+        let got = loop {
+            let now = Instant::now();
+            if now >= deadline {
+                break None;
+            }
+            if let Some(t) = self.bus.wait(rid, slice.min(deadline - now)) {
+                break Some(t);
+            }
+            if h.is_stopping() {
+                break None;
+            }
+            // Fallback: the handler may have answered durably while the
+            // probe died with its shard.
+            let resolved = h.with_ingress(|m| m.store().resolve(&reply));
+            if resolved.is_ground() {
+                break Some(resolved);
+            }
+            let dead_now = h.dead_shards();
+            if dead_now != dead_seen || last_send.elapsed() >= resend_every {
+                // A shard died since the last send (or the request has sat
+                // unanswered for a full re-send period). Re-send the whole
+                // request — the acked send AND a fresh reply probe, bound
+                // to the same reply variable — at a node a live worker
+                // owns. `requests_admitted` is not bumped: this is a
+                // retransmit of an admitted request, not a new one.
+                dead_seen = dead_now;
+                last_send = Instant::now();
+                let resend_node = self.pick_node();
+                ack = h.with_ingress(|m| {
+                    m.set_session_region(session.region);
+                    let mut vars = BTreeMap::new();
+                    let q = ast_to_term(ast, m, &mut vars);
+                    m.inject(
+                        Term::tuple(
+                            "rsend",
+                            vec![
+                                Term::int(resend_node),
+                                dt.clone(),
+                                Term::tuple("req", vec![q, reply.clone()]),
+                            ],
+                        ),
+                        resend_node,
+                    );
+                    let fresh = Term::Var(m.store_mut().new_var());
+                    m.inject(
+                        Term::tuple(
+                            "$serve_reply",
+                            vec![Term::int(rid as i64), reply.clone(), fresh.clone()],
+                        ),
+                        resend_node,
+                    );
+                    fresh
+                });
+            }
+        };
+        // As on the plain path: don't hand the session back (and risk a
+        // close-time sweep) while the probe's ack bind may still be in
+        // flight. Bounded — under chaos the ack may have died for good.
+        let grace = Instant::now()
+            + if got.is_some() {
+                Duration::from_millis(1_000)
+            } else {
+                Duration::from_millis(250)
+            };
+        while !h.with_ingress(|m| m.store().resolve(&ack).is_ground()) {
+            if Instant::now() >= grace || h.is_stopping() {
+                break;
+            }
+            std::thread::sleep(Duration::from_micros(50));
+        }
+        // A re-registered probe can deliver the same reply twice; drop the
+        // leftover so the bus map stays bounded by in-flight requests.
+        let _ = self.bus.take(rid);
+        match got {
+            Some(t) => Response::Ok(t.to_string()),
+            None => Response::Err(format!("no reply within {}ms", self.cfg.reply_timeout_ms)),
+        }
     }
 
     /// Regular work pending in the engine (the backpressure gauge).
@@ -704,6 +914,78 @@ mod tests {
         svc.close_session(s);
         let report = svc.shutdown().unwrap();
         assert_eq!(report.errors.len(), 1, "{:?}", report.errors);
+    }
+
+    fn supervised_doubler(threads: u32, retry_ms: u64) -> MotifService {
+        strand_parallel::install();
+        let cfg = ServeConfig {
+            servers: 4,
+            backend: ServeBackend::Parallel(threads),
+            supervise: true,
+            retry_ms,
+            ..ServeConfig::default()
+        };
+        MotifService::start(DOUBLER_APP, cfg).unwrap()
+    }
+
+    #[test]
+    fn supervised_service_answers_requests_and_arms_wall_timers() {
+        let svc = supervised_doubler(2, 25);
+        let s = svc.open_session();
+        assert_eq!(svc.request(s, "21"), Response::Ok("42".to_string()));
+        assert_eq!(svc.request(s, "-3"), Response::Ok("-6".to_string()));
+        svc.close_session(s);
+        let report = svc.shutdown().unwrap();
+        // Supervision runs on real deadlines: heartbeat beats and ack
+        // retransmit windows all sit in the wheel.
+        assert!(report.metrics.timers_armed > 0, "{:?}", report.metrics);
+        assert_eq!(report.metrics.requests_admitted, 2);
+    }
+
+    #[test]
+    fn supervision_refuses_the_simulator_backend() {
+        let cfg = ServeConfig {
+            supervise: true,
+            backend: ServeBackend::Sim,
+            ..ServeConfig::default()
+        };
+        match MotifService::start(DOUBLER_APP, cfg) {
+            Err(err) => assert!(
+                err.to_string().contains("parallel backend"),
+                "unhelpful refusal: {err}"
+            ),
+            Ok(_) => panic!("simulator accepted a supervised config"),
+        }
+    }
+
+    #[test]
+    fn busy_hint_tracks_the_wheel_horizon_under_supervision() {
+        // Regression: the BUSY hint used to parrot `retry_ms` verbatim,
+        // so a client configured with a lazy 10s retry kept hammering a
+        // service whose next wake (a heartbeat, a retransmit window) was
+        // due within the second. Supervised services must derive the hint
+        // from the wheel's next-due horizon instead.
+        let svc = supervised_doubler(2, 10_000);
+        // Heartbeats arm within the first watch window; give the fleet a
+        // moment to get one into the wheel.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let hint = loop {
+            let hint = svc.busy_hint();
+            if hint < 10_000 || Instant::now() >= deadline {
+                break hint;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        };
+        assert!(
+            (1..10_000).contains(&hint),
+            "hint {hint}ms was not derived from the wheel horizon"
+        );
+        svc.shutdown().unwrap();
+
+        // Unsupervised services advertise the configured delay verbatim.
+        let svc = doubler(ServeBackend::Parallel(2));
+        assert_eq!(svc.busy_hint(), svc.cfg.retry_ms);
+        svc.shutdown().unwrap();
     }
 
     #[test]

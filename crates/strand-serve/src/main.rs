@@ -3,13 +3,16 @@
 //!
 //! ```text
 //! strand-serve [--addr HOST:PORT] [--app FILE] [--servers N]
-//!              [--threads T | --sim] [--max-pending P] [--stats]
+//!              [--threads T | --sim] [--supervise] [--max-pending P]
+//!              [--stats]
 //!
 //!   --addr HOST:PORT   listen address            (default 127.0.0.1:7464)
 //!   --app FILE         server/1 application file (default: built-in doubler)
 //!   --servers N        server-motif nodes        (default 4)
 //!   --threads T        parallel worker threads; 0 = host parallelism
 //!   --sim              deterministic simulator instead of worker threads
+//!   --supervise        compose Supervise over the servers: heartbeats,
+//!                      acked sends and restart run on wall-clock timers
 //!   --max-pending P    backpressure high-water mark (default 10000)
 //!   --stats            full metrics table in the shutdown summary
 //! ```
@@ -85,6 +88,7 @@ fn main() -> ExitCode {
         .map(|v| v.parse().expect("--servers wants a number"))
         .unwrap_or(4);
     let sim = take_flag(&mut args, "--sim");
+    let supervise = take_flag(&mut args, "--supervise");
     let threads: u32 = take_flag_value(&mut args, "--threads")
         .map(|v| v.parse().expect("--threads wants a number"))
         .unwrap_or(0);
@@ -106,6 +110,7 @@ fn main() -> ExitCode {
     let cfg = ServeConfig {
         servers,
         backend,
+        supervise,
         max_pending,
         ..ServeConfig::default()
     };
@@ -125,8 +130,9 @@ fn main() -> ExitCode {
     };
     install_sigint();
     eprintln!(
-        "strand-serve: {} servers on {} worker thread(s), listening on {addr} (ctrl-c to stop)",
+        "strand-serve: {} servers{} on {} worker thread(s), listening on {addr} (ctrl-c to stop)",
         servers,
+        if supervise { " (supervised)" } else { "" },
         service.threads(),
     );
     let shutdown: Arc<AtomicBool> = Arc::new(AtomicBool::new(false));
@@ -159,6 +165,17 @@ fn main() -> ExitCode {
                 m.idle_parks,
                 m.total_reductions,
             );
+            if supervise {
+                eprintln!(
+                    "strand-serve: supervision: {} timers armed / {} fired / {} cancelled, \
+                     {} deadline wakes, {} supervisor restarts",
+                    m.timers_armed,
+                    m.timers_fired,
+                    m.timers_cancelled,
+                    m.wakes_for_deadline,
+                    m.supervisor_restarts,
+                );
+            }
             if stats {
                 eprintln!("{m:#?}");
             }
@@ -176,7 +193,8 @@ fn usage() -> String {
 
 USAGE:
   strand-serve [--addr HOST:PORT] [--app FILE] [--servers N]
-               [--threads T | --sim] [--max-pending P] [--stats]
+               [--threads T | --sim] [--supervise] [--max-pending P]
+               [--stats]
 
 OPTIONS:
   --addr HOST:PORT   listen address            (default 127.0.0.1:7464)
@@ -184,6 +202,9 @@ OPTIONS:
   --servers N        server-motif nodes        (default 4)
   --threads T        parallel worker threads; 0 = host parallelism
   --sim              deterministic simulator instead of worker threads
+  --supervise        compose Supervise over the servers: heartbeats, acked
+                     sends and restart run on wall-clock timers (parallel
+                     backend only)
   --max-pending P    backpressure high-water mark (default 10000)
   --stats            full metrics table in the shutdown summary
 

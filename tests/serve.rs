@@ -12,6 +12,12 @@
 //!   bounded: session-close reclamation really does return slots (the
 //!   free list is reused), on both engines. Growth here would be the
 //!   week-long-process leak the region sweep exists to prevent.
+//! * **Supervised** — `Supervise ∘ Server` kept resident on wall-clock
+//!   timers must be invisible on clean runs (bit-identical replies to the
+//!   unsupervised tier at 1/2/4 threads) and load-bearing under chaos: a
+//!   worker shard killed mid-load on top of 10% batch drop must cost no
+//!   client its reply — retransmission, restart and the re-registered
+//!   reply probe together make the kill a latency event, not a loss.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
@@ -19,10 +25,10 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use algorithmic_motifs::strand_machine::{run_parsed_goal, MachineConfig, RunStatus};
+use algorithmic_motifs::strand_machine::{run_parsed_goal, ChaosPlan, MachineConfig, RunStatus};
 use algorithmic_motifs::strand_parallel;
 use algorithmic_motifs::strand_serve::{
-    serve, MotifService, ServeBackend, ServeConfig, DOUBLER_APP, ECHO_APP,
+    serve, MotifService, Response, ServeBackend, ServeConfig, Session, DOUBLER_APP, ECHO_APP,
 };
 
 const SERVERS: u32 = 4;
@@ -71,8 +77,8 @@ fn batch_reply(app: &str, payload: &str) -> String {
 /// Replay payloads through a resident service over loopback TCP — the
 /// real accept loop, wire protocol and session lifecycle — and return the
 /// reply payloads (the text after `OK `).
-fn tcp_replay(app: &str, backend: ServeBackend, payloads: &[&str]) -> Vec<String> {
-    let service = MotifService::start(app, serve_cfg(backend)).expect("service boots");
+fn tcp_replay(app: &str, cfg: ServeConfig, payloads: &[&str]) -> Vec<String> {
+    let service = MotifService::start(app, cfg).expect("service boots");
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
     let addr = listener.local_addr().expect("ephemeral addr");
     let shutdown = Arc::new(AtomicBool::new(false));
@@ -124,7 +130,7 @@ fn doubler_replay_matches_batch_on_every_backend() {
         .map(|p| batch_reply(DOUBLER_APP, p))
         .collect();
     for backend in backends() {
-        let got = tcp_replay(DOUBLER_APP, backend, &payloads);
+        let got = tcp_replay(DOUBLER_APP, serve_cfg(backend), &payloads);
         assert_eq!(got, want, "replay diverged from batch on {backend:?}");
     }
 }
@@ -142,7 +148,7 @@ fn echo_replay_matches_batch_on_every_backend() {
     ];
     let want: Vec<String> = payloads.iter().map(|p| batch_reply(ECHO_APP, p)).collect();
     for backend in backends() {
-        let got = tcp_replay(ECHO_APP, backend, &payloads);
+        let got = tcp_replay(ECHO_APP, serve_cfg(backend), &payloads);
         assert_eq!(got, want, "replay diverged from batch on {backend:?}");
     }
 }
@@ -180,6 +186,7 @@ fn soak(backend: ServeBackend, cycles: usize) {
         }
     }
     let report = service.shutdown().expect("clean shutdown");
+    eprintln!("[soak] shutdown returned");
     assert_eq!(report.metrics.sessions_opened, cycles as u64);
     assert_eq!(report.metrics.sessions_closed, cycles as u64);
     assert!(report.metrics.vars_reclaimed > 0);
@@ -193,4 +200,180 @@ fn soak_sim_store_is_bounded_over_1000_sessions() {
 #[test]
 fn soak_parallel_store_is_bounded_over_1000_sessions() {
     soak(ServeBackend::Parallel(2), 1000);
+}
+
+// ---------------------------------------------------------------------------
+// Supervised tier: Supervise ∘ Server resident on wall-clock timers
+// ---------------------------------------------------------------------------
+
+fn supervised_cfg(threads: u32) -> ServeConfig {
+    strand_parallel::install();
+    ServeConfig {
+        servers: SERVERS,
+        backend: ServeBackend::Parallel(threads),
+        supervise: true,
+        ..ServeConfig::default()
+    }
+}
+
+/// Issue one request, honoring `BUSY` by sleeping exactly the advertised
+/// hint before retrying — the contract the supervised service makes cheap
+/// by deriving the hint from the timer wheel's next-due horizon instead of
+/// parroting the configured `retry_ms`.
+fn request_with_retry(svc: &MotifService, s: Session, payload: &str) -> Response {
+    for _ in 0..1_000 {
+        match svc.request(s, payload) {
+            Response::Busy(hint) => std::thread::sleep(Duration::from_millis(hint.max(1))),
+            other => return other,
+        }
+    }
+    panic!("backpressure never cleared for {payload:?}");
+}
+
+/// Supervision must be invisible when nothing fails: the same payloads
+/// replayed through a supervised resident service (heartbeats beating,
+/// acked `rsend` envelopes, wall-clock wheel armed) produce bit-identical
+/// replies to the unsupervised batch reference at every thread count on
+/// the conformance ladder.
+#[test]
+fn supervised_replay_is_bit_identical_to_unsupervised_when_clean() {
+    let payloads = ["21", "0", "-17", "1000000"];
+    let want: Vec<String> = payloads
+        .iter()
+        .map(|p| batch_reply(DOUBLER_APP, p))
+        .collect();
+    for threads in [1u32, 2, 4] {
+        let got = tcp_replay(DOUBLER_APP, supervised_cfg(threads), &payloads);
+        assert_eq!(
+            got, want,
+            "supervised replay diverged from batch at {threads} threads"
+        );
+    }
+}
+
+/// The doubler written for replay: the Supervise contract is that a
+/// restarted server may see delivered-but-unacked envelopes again, so the
+/// reply bind goes through the `put_arg/4` test-and-set (first delivery
+/// wins, replays are no-ops) instead of a bare `:=` that would double-bind.
+const REPLAY_SAFE_DOUBLER: &str = r#"
+server([]).
+server([halt|_]).
+server([req(Q, R)|In]) :- put_reply(Q, R), server(In).
+put_reply(Q, R) :- D := Q * 2, T := t(R), put_arg(1, T, D, _).
+"#;
+
+/// The acceptance scenario: kill a worker shard mid-load, on top of 10%
+/// cross-worker batch drop, while concurrent clients stream requests. No
+/// client may lose its reply — requests routed at the dead shard are
+/// retransmitted by `rsend` until the supervisor's watch window expires
+/// and restarts the shard's servers from their durable wires, and the
+/// service re-sends any still-unanswered request (same reply variable) at
+/// a live node. The kill must demonstrably land (`shards_killed`), and
+/// recovery must run through the supervisor (`supervisor_restarts`), not
+/// luck — so the clients pace their stream to hold the fleet resident
+/// past the supervisor's watch window instead of finishing in a burst
+/// that drains before any wall-clock deadline can expire.
+fn chaos_serve_loses_no_client(threads: u32) {
+    // Calibrate "mid-load": the kill triggers on the global reduction
+    // counter, so aim it just past a clean boot's count — the fleet is
+    // then necessarily booted (give or take chaos-retry noise) and the
+    // client burst below is in flight when it fires.
+    let boot_reductions = {
+        let svc = MotifService::start(REPLAY_SAFE_DOUBLER, supervised_cfg(threads))
+            .expect("calibration boot");
+        let report = svc.shutdown().expect("calibration shutdown");
+        report.metrics.total_reductions
+    };
+    let mut cfg = supervised_cfg(threads);
+    cfg.chaos = ChaosPlan::default()
+        .kill(1, boot_reductions + 500)
+        .drop_prob(0.10)
+        .seed(71);
+    cfg.reply_timeout_ms = 30_000;
+    let service =
+        Arc::new(MotifService::start(REPLAY_SAFE_DOUBLER, cfg).expect("chaos service boots"));
+    let clients = 4i64;
+    let per_client = 8i64;
+    let mut handles = Vec::new();
+    for c in 0..clients {
+        let svc = Arc::clone(&service);
+        handles.push(std::thread::spawn(move || {
+            let s = svc.open_session();
+            for k in 0..per_client {
+                // Pace the stream: 8 requests x 400ms keeps this client
+                // active for ~3.2s, comfortably past the supervisor's
+                // 1.8s watch window, so the restart fires under load.
+                if k > 0 {
+                    std::thread::sleep(Duration::from_millis(400));
+                }
+                let q = c * per_client + k + 1;
+                match request_with_retry(&svc, s, &q.to_string()) {
+                    Response::Ok(reply) => assert_eq!(
+                        reply,
+                        (q * 2).to_string(),
+                        "client {c} got a wrong reply for {q}"
+                    ),
+                    other => panic!("client {c} lost request {q}: {other:?}"),
+                }
+            }
+            svc.close_session(s);
+        }));
+    }
+    for h in handles {
+        h.join().expect("client thread panicked");
+    }
+    let service = Arc::try_unwrap(service).ok().expect("all clients joined");
+    let report = service.shutdown().expect("chaos shutdown");
+    assert_eq!(
+        report.metrics.shards_killed, 1,
+        "the kill must land at {threads} threads"
+    );
+    assert!(
+        report.metrics.supervisor_restarts > 0,
+        "recovery must run through the supervisor at {threads} threads: {:?}",
+        report.metrics
+    );
+    assert!(
+        report.metrics.timers_fired > 0,
+        "retransmit/watch deadlines must have fired: {:?}",
+        report.metrics
+    );
+}
+
+#[test]
+fn chaos_on_serve_2_threads_loses_no_client() {
+    chaos_serve_loses_no_client(2);
+}
+
+#[test]
+fn chaos_on_serve_4_threads_loses_no_client() {
+    chaos_serve_loses_no_client(4);
+}
+
+/// Supervised quick soak: 200 session cycles through `request_with_retry`,
+/// so any `BUSY` bounce is answered by sleeping the advertised wheel-derived
+/// hint (the `max_pending` squeeze makes bounces plausible under the
+/// heartbeat background load). Every cycle must complete and session
+/// reclamation must keep working with the supervision machinery resident.
+#[test]
+fn soak_supervised_sessions_complete_honoring_busy_hints() {
+    let mut cfg = supervised_cfg(2);
+    cfg.max_pending = 64;
+    let service = MotifService::start(DOUBLER_APP, cfg).expect("service boots");
+    let cycles = 200i64;
+    for cycle in 0..cycles {
+        let s = service.open_session();
+        let q = cycle + 1;
+        match request_with_retry(&service, s, &q.to_string()) {
+            Response::Ok(reply) => assert_eq!(reply, (q * 2).to_string(), "cycle {cycle}"),
+            other => panic!("cycle {cycle} failed: {other:?}"),
+        }
+        service.close_session(s);
+    }
+    let report = service.shutdown().expect("clean shutdown");
+    assert_eq!(report.metrics.sessions_opened, cycles as u64);
+    assert_eq!(report.metrics.sessions_closed, cycles as u64);
+    assert!(report.metrics.requests_admitted >= cycles as u64);
+    assert!(report.metrics.timers_armed > 0, "{:?}", report.metrics);
+    assert!(report.metrics.vars_reclaimed > 0, "{:?}", report.metrics);
 }
